@@ -1,0 +1,168 @@
+"""Ablations of the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures and quantify the sensitivity of the main
+mechanisms:
+
+* AIMD backoff constant — the paper argues for a gentle 10% backoff rather
+  than TCP-style halving; the ablation compares convergence and stability.
+* Prediction-cache sizing and eviction policy (CLOCK vs LRU) on a skewed
+  query popularity distribution.
+* Straggler-mitigation deadline sweep — accuracy/latency trade-off as the
+  SLO tightens.
+* Exp3 vs epsilon-greedy vs UCB1 on a stationary selection workload.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import record_result
+from repro.batching.aimd import AIMDController
+from repro.cache.prediction_cache import PredictionCache
+from repro.core.types import ModelId
+from repro.evaluation.online import straggler_experiment
+from repro.evaluation.reporting import format_table
+from repro.evaluation.suites import ensemble_prediction_matrix, heterogeneous_ensemble
+from repro.selection.epsilon_greedy import EpsilonGreedyPolicy
+from repro.selection.exp3 import Exp3Policy
+from repro.selection.ucb import UCB1Policy
+
+
+def test_ablation_aimd_backoff_constant(benchmark):
+    """Gentle backoff (0.9) should track capacity with fewer oscillations."""
+
+    def run():
+        rows = []
+        for backoff in (0.5, 0.75, 0.9):
+            controller = AIMDController(
+                slo_ms=20.0, initial_batch_size=1, additive_increase=2, backoff_fraction=backoff
+            )
+            sizes = []
+            for _ in range(600):
+                batch = controller.current_batch_size()
+                latency = 0.1 * batch  # capacity: 200 queries per 20 ms
+                controller.observe(batch, latency)
+                sizes.append(batch)
+            steady = np.array(sizes[200:])
+            rows.append(
+                {
+                    "backoff_fraction": backoff,
+                    "mean_batch": float(steady.mean()),
+                    "batch_stddev": float(steady.std()),
+                    "backoffs": controller.backoffs,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("ablation_aimd_backoff", format_table(rows, title="Ablation: AIMD backoff"))
+    by_backoff = {row["backoff_fraction"]: row for row in rows}
+    # The gentle backoff sustains a larger average batch (higher throughput)
+    # with lower variance than aggressive halving.
+    assert by_backoff[0.9]["mean_batch"] > by_backoff[0.5]["mean_batch"]
+    assert by_backoff[0.9]["batch_stddev"] < by_backoff[0.5]["batch_stddev"] * 1.5
+
+
+def test_ablation_cache_size_and_eviction(benchmark):
+    """Hit rate vs cache size under a Zipf-like popularity distribution."""
+    rng = np.random.default_rng(0)
+    n_items = 4096
+    popularity = rng.zipf(1.3, size=60000) % n_items
+    items = [np.array([float(i)]) for i in range(n_items)]
+
+    def run():
+        rows = []
+        for capacity in (256, 1024, 4096):
+            for eviction in ("clock", "lru"):
+                cache = PredictionCache(capacity=capacity, eviction=eviction)
+                for item_id in popularity:
+                    x = items[int(item_id)]
+                    if cache.fetch("m:1", x) is None:
+                        cache.put("m:1", x, int(item_id))
+                rows.append(
+                    {
+                        "capacity": capacity,
+                        "eviction": eviction,
+                        "hit_rate": cache.stats.hit_rate,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result("ablation_cache", format_table(rows, title="Ablation: prediction cache"))
+    by_key = {(row["capacity"], row["eviction"]): row["hit_rate"] for row in rows}
+    # Bigger caches hit more, and CLOCK approximates LRU closely (within 10 points).
+    assert by_key[(4096, "clock")] > by_key[(256, "clock")]
+    for capacity in (256, 1024, 4096):
+        assert abs(by_key[(capacity, "clock")] - by_key[(capacity, "lru")]) < 0.1
+
+
+def test_ablation_straggler_deadline_sweep(benchmark, cifar_eval_dataset):
+    """Tighter SLOs trade more missing predictions for bounded latency."""
+    models = heterogeneous_ensemble(cifar_eval_dataset, n_models=5, random_state=0)
+    predictions = ensemble_prediction_matrix(models, cifar_eval_dataset.X_test)
+
+    def run():
+        rows = []
+        for slo in (10.0, 20.0, 40.0, 80.0):
+            result = straggler_experiment(
+                predictions,
+                cifar_eval_dataset.y_test,
+                ensemble_size=5,
+                slo_ms=slo,
+                num_queries=1200,
+                random_state=1,
+            )
+            rows.append(
+                {
+                    "slo_ms": slo,
+                    "mitigated_p99_ms": result.mitigated_p99_latency_ms,
+                    "missing_mean_pct": result.mean_missing_fraction * 100,
+                    "accuracy": result.accuracy,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "ablation_straggler_deadline",
+        format_table(rows, title="Ablation: straggler-mitigation deadline sweep"),
+    )
+    assert rows[0]["missing_mean_pct"] >= rows[-1]["missing_mean_pct"]
+    assert rows[0]["accuracy"] <= rows[-1]["accuracy"] + 1e-9
+    for row in rows:
+        assert row["mitigated_p99_ms"] <= row["slo_ms"] + 1e-9
+
+
+def test_ablation_bandit_policies(benchmark):
+    """Exp3 vs epsilon-greedy vs UCB1 on a stationary two-model workload."""
+    models = [ModelId("good"), ModelId("bad")]
+    accuracies = {"good:1": 0.9, "bad:1": 0.55}
+
+    def run():
+        rows = []
+        for label, policy in (
+            ("exp3", Exp3Policy(eta=0.3, seed=0)),
+            ("epsilon_greedy", EpsilonGreedyPolicy(epsilon=0.1, seed=0)),
+            ("ucb1", UCB1Policy()),
+        ):
+            rng = np.random.default_rng(1)
+            state = policy.init(models)
+            errors = 0
+            n = 3000
+            for _ in range(n):
+                arm = policy.select(state, None)[0]
+                correct = rng.random() < accuracies[arm]
+                errors += int(not correct)
+                state = policy.observe(state, None, 1, {arm: 1 if correct else 0})
+            rows.append({"policy": label, "mean_error": errors / n})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_result(
+        "ablation_bandit_policies",
+        format_table(rows, title="Ablation: bandit policies on a stationary workload"),
+    )
+    # Every policy must do clearly better than always picking the bad model
+    # (error 0.45) and approach the good model's error rate (0.10).
+    for row in rows:
+        assert row["mean_error"] < 0.3

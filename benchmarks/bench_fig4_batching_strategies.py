@@ -1,0 +1,99 @@
+"""Figure 4 — comparison of dynamic batching strategies.
+
+Serves each of the Figure 3 model containers through the full Clipper stack
+under three batching strategies — adaptive AIMD, quantile regression, and
+the no-batching baseline — at a 20 ms SLO, reporting throughput and P99
+latency.  The paper's shape: the two adaptive strategies perform nearly
+identically and both deliver large throughput gains (up to ~26x for the
+Scikit-Learn linear SVM) over no batching, while keeping P99 latency near
+the SLO.
+"""
+
+import pytest
+
+from conftest import SLO_MS, record_result
+from repro.core.config import BatchingConfig
+from repro.evaluation.reporting import format_table
+from repro.evaluation.serving import run_clipper_serving
+
+STRATEGIES = {
+    "adaptive": BatchingConfig(policy="aimd", additive_increase=4),
+    "quantile-regression": BatchingConfig(policy="quantile", additive_increase=4),
+    "no-batching": BatchingConfig(policy="none"),
+}
+
+#: Containers served in this benchmark (kernel SVM uses fewer queries since
+#: its no-batching baseline is very slow, as in the paper).
+NUM_QUERIES = {
+    "no-op": 600,
+    "linear-svm-sklearn": 400,
+    "linear-svm-pyspark": 400,
+    "random-forest-sklearn": 400,
+    "kernel-svm-sklearn": 120,
+    "logistic-regression-sklearn": 400,
+}
+
+
+@pytest.fixture(scope="module")
+def fig4_rows(figure3_suite, mnist_serving_dataset):
+    inputs = [mnist_serving_dataset.X_test[i] for i in range(128)]
+    rows = []
+    for spec in figure3_suite:
+        for strategy, batching in STRATEGIES.items():
+            measurement = run_clipper_serving(
+                container_factory=spec.factory,
+                inputs=inputs,
+                label=f"{spec.name}/{strategy}",
+                num_queries=NUM_QUERIES[spec.name],
+                latency_slo_ms=SLO_MS,
+                batching=batching,
+                concurrency=64,
+            )
+            rows.append(
+                {
+                    "container": spec.name,
+                    "strategy": strategy,
+                    "throughput_qps": measurement.throughput_qps,
+                    "p99_latency_ms": measurement.p99_latency_ms,
+                    "mean_batch_size": measurement.mean_batch_size,
+                }
+            )
+    return rows
+
+
+def test_fig4_batching_strategies(benchmark, fig4_rows):
+    record_result(
+        "fig4_batching_strategies",
+        format_table(fig4_rows, title="Figure 4: dynamic batching strategies (20 ms SLO)"),
+    )
+
+    def lookup(container, strategy, field):
+        for row in fig4_rows:
+            if row["container"] == container and row["strategy"] == strategy:
+                return row[field]
+        raise KeyError((container, strategy))
+
+    # Adaptive batching must substantially outperform no batching for the
+    # BLAS-friendly sklearn linear SVM (paper: ~26x).
+    sklearn_gain = lookup("linear-svm-sklearn", "adaptive", "throughput_qps") / lookup(
+        "linear-svm-sklearn", "no-batching", "throughput_qps"
+    )
+    assert sklearn_gain > 2.0
+
+    # The two adaptive strategies should be in the same ballpark (within 3x)
+    # for every container — the paper finds them nearly identical.
+    for container in NUM_QUERIES:
+        aimd = lookup(container, "adaptive", "throughput_qps")
+        quantile = lookup(container, "quantile-regression", "throughput_qps")
+        assert 1 / 3 < aimd / quantile < 3
+
+    benchmark(lambda: max(row["throughput_qps"] for row in fig4_rows))
+
+
+def test_fig4_adaptive_batches_grow_beyond_one(fig4_rows):
+    adaptive_batches = [
+        row["mean_batch_size"]
+        for row in fig4_rows
+        if row["strategy"] == "adaptive" and row["container"] != "kernel-svm-sklearn"
+    ]
+    assert max(adaptive_batches) > 1.5

@@ -1,0 +1,71 @@
+"""Figure 6 — scaling the model abstraction layer across a GPU cluster.
+
+Runs the discrete-event cluster simulation (the substitution for the paper's
+four-node K20c GPU cluster) for 1-4 replicas behind 10 Gbps and 1 Gbps
+networks.  Shape checks: near-linear aggregate-throughput scaling at
+10 Gbps (paper: 19.5K -> 77K qps, 3.95x), network saturation and latency
+growth at 1 Gbps.
+"""
+
+from conftest import record_result
+from repro.evaluation.reporting import format_table
+from repro.simulation.cluster import sweep_cluster_scaling
+
+REPLICAS = (1, 2, 3, 4)
+LINKS_GBPS = (10.0, 1.0)
+
+
+def run_sweep():
+    return sweep_cluster_scaling(
+        replica_counts=REPLICAS,
+        link_speeds_gbps=LINKS_GBPS,
+        duration_s=1.0,
+        random_state=0,
+    )
+
+
+def test_fig6_cluster_scaling(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for link_gbps in LINKS_GBPS:
+        for result in results[link_gbps]:
+            rows.append(
+                {
+                    "link_gbps": link_gbps,
+                    "replicas": result.num_replicas,
+                    "aggregate_qps": result.aggregate_throughput_qps,
+                    "mean_replica_qps": result.mean_replica_throughput_qps,
+                    "mean_latency_ms": result.mean_latency_ms,
+                    "p99_latency_ms": result.p99_latency_ms,
+                    "nic_utilization": result.nic_utilization,
+                }
+            )
+    record_result(
+        "fig6_cluster_scaling",
+        format_table(rows, title="Figure 6: scaling across a (simulated) GPU cluster"),
+    )
+
+    fast = results[10.0]
+    slow = results[1.0]
+    # Near-linear scaling on the fast network (paper: 3.95x at 4 replicas).
+    speedup = fast[3].aggregate_throughput_qps / fast[0].aggregate_throughput_qps
+    assert speedup > 3.5
+    # The 1 Gbps network saturates: aggregate throughput plateaus well below
+    # the 10 Gbps configuration and the NIC is the bottleneck.
+    assert slow[3].aggregate_throughput_qps < 0.6 * fast[3].aggregate_throughput_qps
+    assert slow[3].nic_utilization > 0.95
+    # Saturation shows up as queueing delay: latency grows with replicas.
+    assert slow[3].p99_latency_ms > slow[0].p99_latency_ms
+
+
+def test_fig6_single_replica_matches_calibration(benchmark):
+    from repro.simulation.cluster import simulate_cluster_scaling
+
+    result = benchmark.pedantic(
+        lambda: simulate_cluster_scaling(1, 10.0, duration_s=1.0, random_state=0),
+        rounds=1,
+        iterations=1,
+    )
+    # Calibrated to the paper's single-node measurement of ~19.5K qps.
+    assert abs(result.aggregate_throughput_qps - 19500) / 19500 < 0.15

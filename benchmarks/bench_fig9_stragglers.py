@@ -1,0 +1,58 @@
+"""Figure 9 — straggler mitigation for growing ensembles.
+
+Sweeps the ensemble size and measures (a) query latency with and without
+straggler mitigation, (b) the fraction of ensemble predictions missing at
+the SLO deadline, and (c) prediction accuracy when combining only the
+predictions that arrived.  Shape checks mirror the paper: blocking P99
+latency blows far past the 20 ms objective as the ensemble grows while the
+mitigated latency stays bounded at the SLO, most predictions still arrive in
+time, and accuracy degrades only slightly relative to waiting for the full
+ensemble.
+"""
+
+from conftest import SLO_MS, record_result
+from repro.evaluation.online import straggler_experiment
+from repro.evaluation.reporting import format_table
+from repro.evaluation.suites import ensemble_prediction_matrix, heterogeneous_ensemble
+
+ENSEMBLE_SIZES = (2, 4, 6, 8)
+
+
+def test_fig9_straggler_mitigation(benchmark, cifar_eval_dataset):
+    dataset = cifar_eval_dataset
+    models = heterogeneous_ensemble(dataset, n_models=8, random_state=0)
+    predictions = ensemble_prediction_matrix(models, dataset.X_test)
+
+    def run():
+        return [
+            straggler_experiment(
+                predictions,
+                dataset.y_test,
+                ensemble_size=size,
+                slo_ms=SLO_MS,
+                num_queries=1500,
+                random_state=size,
+            )
+            for size in ENSEMBLE_SIZES
+        ]
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [result.as_row() for result in results]
+    record_result(
+        "fig9_stragglers",
+        format_table(rows, title="Figure 9: straggler mitigation vs blocking (20 ms SLO)"),
+    )
+
+    for result in results:
+        # (a) Mitigated latency is bounded by the SLO; blocking latency is not.
+        assert result.mitigated_p99_latency_ms <= SLO_MS + 1e-9
+        assert result.blocking_p99_latency_ms > SLO_MS
+        # (b) Most predictions still arrive by the deadline on average.
+        assert result.mean_missing_fraction < 0.5
+        # (c) Accuracy with the partial ensemble stays close to blocking accuracy.
+        assert result.accuracy >= result.full_ensemble_accuracy - 0.05
+
+    largest = results[-1]
+    smallest = results[0]
+    # Bigger ensembles suffer more from stragglers when blocking (paper 9a).
+    assert largest.blocking_p99_latency_ms >= smallest.blocking_p99_latency_ms

@@ -1,0 +1,73 @@
+"""Model-failure recovery with bandit selection policies (Figure 8).
+
+Replays a 12K-query feedback stream against a five-model ensemble, degrades
+the most accurate model a quarter of the way in, lets it recover halfway
+through, and prints the cumulative error of every base model next to the
+Exp3 (single-model) and Exp4 (ensemble) selection policies — showing how the
+online policies route around the failure and recover when the model does.
+
+Run with::
+
+    python examples/model_failure_recovery.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets import load_cifar_like
+from repro.evaluation.online import model_failure_experiment
+from repro.evaluation.reporting import format_table
+from repro.evaluation.suites import ensemble_prediction_matrix, heterogeneous_ensemble
+
+NUM_QUERIES = 12000
+DEGRADE_START = 3000
+DEGRADE_END = 6000
+
+
+def main() -> None:
+    dataset = load_cifar_like(n_samples=2000, n_features=256, random_state=1)
+    models = heterogeneous_ensemble(dataset, n_models=5, random_state=0)
+    predictions = ensemble_prediction_matrix(models, dataset.X_test)
+
+    result = model_failure_experiment(
+        predictions,
+        dataset.y_test,
+        num_queries=NUM_QUERIES,
+        degrade_start=DEGRADE_START,
+        degrade_end=DEGRADE_END,
+        random_state=0,
+    )
+
+    checkpoints = [DEGRADE_START - 1, DEGRADE_END - 1, NUM_QUERIES - 1]
+    rows = []
+    for name, curve in sorted(result.cumulative_errors.items()):
+        rows.append(
+            {
+                "series": name,
+                "error@pre-failure": float(curve[checkpoints[0]]),
+                "error@failure-end": float(curve[checkpoints[1]]),
+                "error@final": float(curve[checkpoints[2]]),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            title=(
+                f"Cumulative error over {NUM_QUERIES} queries "
+                f"(best model degraded during [{DEGRADE_START}, {DEGRADE_END}))"
+            ),
+        )
+    )
+
+    finals = result.final_errors()
+    static_best = min(v for k, v in finals.items() if k.startswith("model-"))
+    print(f"\nExp3 final error:  {finals['Exp3']:.3f}")
+    print(f"Exp4 final error:  {finals['Exp4']:.3f}")
+    print(f"best static model: {static_best:.3f} "
+          "(and the statically-chosen pre-failure best ends far worse: "
+          f"{finals[max(finals, key=lambda k: finals[k] if k.startswith('model-') else -1)]:.3f})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Quickstart: deploy two models behind Clipper and serve predictions.
+
+This example walks through the complete life-cycle from the paper's Figure 2:
+
+1. *Train* two models (a linear SVM and a logistic regression) with the
+   bundled ``repro.mlkit`` framework on an MNIST-like dataset.
+2. *Deploy* each model in its own container behind the model abstraction
+   layer (prediction cache + adaptive batching + RPC).
+3. *Serve* queries through the Exp4 ensemble selection policy with a 20 ms
+   latency SLO.
+4. *Send feedback* so the selection layer learns which model to trust.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro import Clipper, ClipperConfig, Feedback, ModelDeployment, Query
+from repro.containers import ClassifierContainer
+from repro.core.config import BatchingConfig
+from repro.datasets import load_mnist_like
+from repro.mlkit import LinearSVM, LogisticRegression
+
+
+async def main() -> None:
+    # 1. Train two models on the MNIST-like dataset.
+    dataset = load_mnist_like(n_samples=2000, n_features=196, random_state=0)
+    svm = LinearSVM(epochs=5, random_state=0).fit(dataset.X_train, dataset.y_train)
+    logreg = LogisticRegression(epochs=5, random_state=1).fit(dataset.X_train, dataset.y_train)
+    print(f"offline accuracy: svm={svm.score(dataset.X_test, dataset.y_test):.3f} "
+          f"logreg={logreg.score(dataset.X_test, dataset.y_test):.3f}")
+
+    # 2. Deploy both models behind Clipper with a 20 ms SLO.
+    clipper = Clipper(
+        ClipperConfig(app_name="digits", latency_slo_ms=20.0, selection_policy="exp4")
+    )
+    clipper.deploy_model(
+        ModelDeployment(
+            name="linear-svm",
+            container_factory=lambda: ClassifierContainer(svm, framework="sklearn"),
+            batching=BatchingConfig(policy="aimd"),
+        )
+    )
+    clipper.deploy_model(
+        ModelDeployment(
+            name="logreg",
+            container_factory=lambda: ClassifierContainer(logreg, framework="sklearn"),
+        )
+    )
+    await clipper.start()
+
+    # 3. Serve queries and 4. send feedback.
+    correct = 0
+    n_queries = 200
+    for i in range(n_queries):
+        x = dataset.X_test[i % dataset.X_test.shape[0]]
+        truth = int(dataset.y_test[i % dataset.y_test.shape[0]])
+        prediction = await clipper.predict(Query(app_name="digits", input=x))
+        correct += int(prediction.output == truth)
+        await clipper.feedback(Feedback(app_name="digits", input=x, label=truth))
+
+    snapshot = clipper.metrics.snapshot()
+    latency = snapshot.histograms["predict.latency_ms"]
+    print(f"served {n_queries} queries, online accuracy {correct / n_queries:.3f}")
+    print(f"latency mean={latency['mean']:.2f} ms  p99={latency['p99']:.2f} ms")
+    print(f"prediction-cache hit rate: {clipper.cache.stats.hit_rate:.2f}")
+    weights = clipper.selection_manager.policy.model_weights(
+        clipper.selection_manager.get_state(None)
+    )
+    print("learned ensemble weights:", {k: round(v, 3) for k, v in weights.items()})
+
+    await clipper.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,63 @@
+"""Refresh the reference-run tables at the bottom of EXPERIMENTS.md.
+
+Run after ``pytest benchmarks/ --benchmark-only`` to copy the regenerated
+tables from ``benchmarks/results/`` into the "Reference-run measurements"
+section of EXPERIMENTS.md, replacing whatever was there before.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+EXPERIMENTS = REPO_ROOT / "EXPERIMENTS.md"
+RESULTS = REPO_ROOT / "benchmarks" / "results"
+MARKER = "## Reference-run measurements"
+
+#: Order in which the result tables are listed.
+RESULT_ORDER = [
+    "table1_datasets",
+    "fig3_latency_profiles",
+    "fig4_batching_strategies",
+    "fig5_delayed_batching",
+    "fig6_cluster_scaling",
+    "table2_deep_models",
+    "fig7_cifar_ensemble",
+    "fig7_imagenet_ensemble",
+    "fig8_model_failure",
+    "fig8_ab_testing_baseline",
+    "fig9_stragglers",
+    "fig10_personalization",
+    "fig11_tf_serving",
+    "caching_feedback_throughput",
+    "ablation_aimd_backoff",
+    "ablation_cache",
+    "ablation_straggler_deadline",
+    "ablation_bandit_policies",
+]
+
+
+def main() -> None:
+    text = EXPERIMENTS.read_text()
+    marker_index = text.find(MARKER)
+    if marker_index == -1:
+        raise SystemExit(f"marker '{MARKER}' not found in {EXPERIMENTS}")
+    # Keep everything up to and including the marker section's intro paragraph.
+    head = text[:marker_index]
+    intro = (
+        f"{MARKER}\n\n"
+        "The tables below are copied verbatim from `benchmarks/results/` after the\n"
+        "reference run (see `bench_output.txt` for the full log).\n"
+    )
+    chunks = []
+    for name in RESULT_ORDER:
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            continue
+        chunks.append(f"### `{name}`\n\n```\n{path.read_text().rstrip()}\n```\n")
+    EXPERIMENTS.write_text(head + intro + "\n" + "\n".join(chunks))
+    print(f"refreshed {len(chunks)} result tables in {EXPERIMENTS.name}")
+
+
+if __name__ == "__main__":
+    main()

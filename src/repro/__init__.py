@@ -1,0 +1,63 @@
+"""repro — a from-scratch Python reproduction of Clipper (NSDI 2017).
+
+Clipper is a low-latency online prediction serving system that interposes
+between end-user applications and machine learning frameworks.  It is split
+into a *model abstraction layer* (prediction cache, adaptive batching, model
+containers connected over a lightweight RPC system) and a *model selection
+layer* (bandit-based single-model and ensemble selection policies, confidence
+estimation, straggler mitigation and contextualization).
+
+The top-level package re-exports the most commonly used entry points so that
+a downstream user can write::
+
+    from repro import Clipper, ClipperConfig, ModelContainer
+
+and get a working serving system.  Sub-packages:
+
+``repro.core``
+    The Clipper serving engine, query frontend, configuration and metrics.
+``repro.cache``
+    Prediction cache with CLOCK/LRU eviction (paper §4.2).
+``repro.batching``
+    Adaptive batching queues and batch-size controllers (paper §4.3).
+``repro.containers``
+    Model containers and replica management (paper §4.4).
+``repro.rpc``
+    The lightweight RPC system connecting Clipper to model containers.
+``repro.selection``
+    Model selection policies: Exp3, Exp4, ensembles, contextualization (§5).
+``repro.state``
+    In-memory key-value store used for externalized selection state.
+``repro.mlkit``
+    A from-scratch numpy machine-learning framework standing in for
+    Scikit-Learn / Spark MLlib / Caffe / TensorFlow / HTK.
+``repro.datasets``
+    Synthetic stand-ins for MNIST, CIFAR-10, ImageNet and TIMIT.
+``repro.workloads``
+    Open/closed-loop query workload generators and feedback simulation.
+``repro.simulation``
+    Discrete-event cluster simulator for scale-out experiments.
+``repro.baselines``
+    TensorFlow-Serving-like comparator and non-adaptive selection baselines.
+"""
+
+from repro.core.clipper import Clipper
+from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.types import Feedback, Prediction, Query
+from repro.containers.base import ModelContainer
+from repro.selection.policy import SelectionPolicy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clipper",
+    "ClipperConfig",
+    "BatchingConfig",
+    "ModelDeployment",
+    "Query",
+    "Prediction",
+    "Feedback",
+    "ModelContainer",
+    "SelectionPolicy",
+    "__version__",
+]

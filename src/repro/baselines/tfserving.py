@@ -1,0 +1,163 @@
+"""A TensorFlow-Serving-like comparator (Figure 11, §6).
+
+The paper characterises TensorFlow Serving by three design choices that
+differ from Clipper:
+
+1. **Tightly coupled**: the model runs in the same process as the serving
+   frontend, so there is no container RPC or serialization overhead.
+2. **Static batching**: batch sizes are hand-tuned offline and fixed; a
+   purely timeout-based mechanism avoids starvation under light load, and
+   there is no latency-SLO awareness.
+3. **Single model**: no selection layer, no feedback, no ensembles.
+
+:class:`TFServingLikeServer` implements exactly that: an asyncio server with
+one model, one queue, one dispatcher using a fixed batch size and a dispatch
+timeout, evaluating the model in-process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.containers.base import ModelContainer
+from repro.core.exceptions import ClipperError
+from repro.core.metrics import MetricsRegistry, summarize_latencies
+
+
+@dataclass
+class _PendingItem:
+    input: Any
+    future: asyncio.Future
+    enqueue_time: float = field(default_factory=time.monotonic)
+
+
+class TFServingLikeServer:
+    """Single-model serving with static batch sizes and timeout dispatch.
+
+    Parameters
+    ----------
+    container:
+        The model container evaluated in-process (call it directly — no RPC).
+    batch_size:
+        Static, hand-tuned batch size (the paper uses 512/128/16 for its
+        MNIST/CIFAR/ImageNet TensorFlow models).
+    batch_timeout_ms:
+        Maximum time the dispatcher waits to fill a batch before sending a
+        partial one (the starvation-avoidance timeout).
+    use_executor:
+        Evaluate batches in the default thread pool so the event loop stays
+        responsive while the "GPU" is busy.
+    """
+
+    def __init__(
+        self,
+        container: ModelContainer,
+        batch_size: int = 32,
+        batch_timeout_ms: float = 2.0,
+        use_executor: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if batch_timeout_ms < 0:
+            raise ValueError("batch_timeout_ms must be non-negative")
+        self.container = container
+        self.batch_size = batch_size
+        self.batch_timeout_ms = batch_timeout_ms
+        self.use_executor = use_executor
+        self.metrics = MetricsRegistry()
+        self._queue: "asyncio.Queue[_PendingItem]" = asyncio.Queue()
+        self._task: Optional[asyncio.Task] = None
+        self._running = False
+
+    async def start(self) -> None:
+        """Start the batching dispatcher."""
+        if not self._running:
+            self._running = True
+            self._task = asyncio.get_event_loop().create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop the dispatcher after the in-flight batch completes."""
+        self._running = False
+        if self._task is not None:
+            try:
+                await asyncio.wait_for(self._task, timeout=5.0)
+            except asyncio.TimeoutError:
+                self._task.cancel()
+                try:
+                    await self._task
+                except asyncio.CancelledError:
+                    pass
+            self._task = None
+
+    async def predict(self, x: Any) -> Any:
+        """Render a prediction for one input."""
+        if not self._running:
+            raise ClipperError("TFServingLikeServer is not started")
+        start = time.monotonic()
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        await self._queue.put(_PendingItem(input=x, future=future))
+        output = await future
+        latency_ms = (time.monotonic() - start) * 1000.0
+        self.metrics.histogram("predict.latency_ms").observe(latency_ms)
+        self.metrics.meter("predict.throughput").mark()
+        return output
+
+    async def _dispatch_loop(self) -> None:
+        while self._running:
+            batch = await self._collect_batch()
+            if not batch:
+                continue
+            inputs = [item.input for item in batch]
+            start = time.perf_counter()
+            try:
+                if self.use_executor:
+                    loop = asyncio.get_event_loop()
+                    outputs = await loop.run_in_executor(
+                        None, self.container.predict_batch, inputs
+                    )
+                else:
+                    outputs = self.container.predict_batch(inputs)
+            except Exception as exc:  # keep serving on container failure
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(exc)
+                continue
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            self.metrics.histogram("batch.latency_ms").observe(latency_ms)
+            self.metrics.histogram("batch.size").observe(len(batch))
+            for item, output in zip(batch, outputs):
+                if not item.future.done():
+                    item.future.set_result(output)
+
+    async def _collect_batch(self) -> List[_PendingItem]:
+        """Fill a batch up to the static size, or dispatch on the timeout."""
+        try:
+            first = await asyncio.wait_for(self._queue.get(), timeout=0.05)
+        except asyncio.TimeoutError:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.batch_timeout_ms / 1000.0
+        while len(batch) < self.batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+                continue
+            except asyncio.QueueEmpty:
+                pass
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                item = await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                batch.append(item)
+            except asyncio.TimeoutError:
+                break
+        return batch
+
+    def latency_summary(self) -> Dict[str, float]:
+        """Mean/percentile latency of served predictions (ms)."""
+        return summarize_latencies(
+            self.metrics.histogram("predict.latency_ms").values()
+        )

@@ -1,0 +1,72 @@
+"""The AIMD batch-size controller (paper §4.3.1, Clipper's default).
+
+Additive-increase / multiplicative-decrease: while batches complete under
+the latency objective, the maximum batch size grows by a fixed additive
+step; when a batch exceeds the objective, the size is cut by a small
+multiplicative backoff (10% in the paper — much gentler than TCP's halving
+because the optimal batch size of a model container barely fluctuates).
+"""
+
+from __future__ import annotations
+
+from repro.batching.controllers import BatchSizeController
+from repro.core.exceptions import ConfigurationError
+
+
+class AIMDController(BatchSizeController):
+    """Additive-increase, multiplicative-decrease batch-size control.
+
+    Parameters
+    ----------
+    slo_ms:
+        The latency objective a single batch evaluation must satisfy.
+    initial_batch_size:
+        Starting maximum batch size.
+    additive_increase:
+        Step added after every under-SLO batch.
+    backoff_fraction:
+        Multiplier applied when a batch exceeds the SLO (paper: 0.9).
+    max_batch_size:
+        Hard cap regardless of observed latency.
+    """
+
+    def __init__(
+        self,
+        slo_ms: float,
+        initial_batch_size: int = 1,
+        additive_increase: int = 1,
+        backoff_fraction: float = 0.9,
+        max_batch_size: int = 4096,
+    ) -> None:
+        super().__init__(slo_ms=slo_ms, max_batch_size=max_batch_size)
+        if initial_batch_size < 1:
+            raise ConfigurationError("initial_batch_size must be >= 1")
+        if additive_increase < 1:
+            raise ConfigurationError("additive_increase must be >= 1")
+        if not 0.0 < backoff_fraction < 1.0:
+            raise ConfigurationError("backoff_fraction must be in (0, 1)")
+        self.additive_increase = additive_increase
+        self.backoff_fraction = backoff_fraction
+        self._batch_size = float(self._clamp(initial_batch_size))
+        self.increases = 0
+        self.backoffs = 0
+
+    def current_batch_size(self) -> int:
+        return self._clamp(self._batch_size)
+
+    def observe(self, batch_size: int, latency_ms: float) -> None:
+        """Additively grow under the SLO, multiplicatively back off above it.
+
+        Growth is only applied when the dispatched batch actually used the
+        full allowance: a small batch finishing quickly says nothing about
+        whether a larger batch would still meet the SLO.
+        """
+        if latency_ms > self.slo_ms:
+            self._batch_size = max(1.0, self._batch_size * self.backoff_fraction)
+            self.backoffs += 1
+        elif batch_size >= self.current_batch_size():
+            self._batch_size = min(
+                float(self.hard_max_batch_size),
+                self._batch_size + self.additive_increase,
+            )
+            self.increases += 1

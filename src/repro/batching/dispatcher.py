@@ -1,0 +1,136 @@
+"""Per-replica batch dispatchers.
+
+One dispatcher task runs for every container replica (paper §4.4.1: adaptive
+batching is performed independently per replica).  The loop is:
+
+1. Ask the replica's batch-size controller for the current maximum size.
+2. Drain up to that many queries from the model's batching queue, optionally
+   waiting ``batch_wait_timeout_ms`` for more under light load (§4.3.2).
+3. Send the batch over RPC to the container, measure the evaluation latency.
+4. Feed the (size, latency) observation back into the controller and resolve
+   each query's future with its output.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import List, Optional
+
+from repro.batching.controllers import BatchSizeController
+from repro.batching.queue import BatchingQueue, PendingQuery
+from repro.containers.replica import ContainerReplica
+from repro.core.exceptions import ContainerError, PredictionTimeoutError, RpcError
+from repro.core.metrics import MetricsRegistry
+from repro.core.types import BatchStats
+
+
+class ReplicaDispatcher:
+    """Drains a batching queue into one container replica."""
+
+    def __init__(
+        self,
+        replica: ContainerReplica,
+        queue: BatchingQueue,
+        controller: BatchSizeController,
+        batch_wait_timeout_ms: float = 0.0,
+        metrics: Optional[MetricsRegistry] = None,
+        drop_expired: bool = True,
+    ) -> None:
+        self.replica = replica
+        self.queue = queue
+        self.controller = controller
+        self.batch_wait_timeout_ms = batch_wait_timeout_ms
+        self.metrics = metrics or MetricsRegistry()
+        self.drop_expired = drop_expired
+        self.batch_history: List[BatchStats] = []
+        self._task: Optional[asyncio.Task] = None
+        self._running = False
+
+    def start(self) -> asyncio.Task:
+        """Start the dispatch loop as a background task."""
+        if self._task is None or self._task.done():
+            self._running = True
+            self._task = asyncio.get_event_loop().create_task(self._run())
+        return self._task
+
+    async def stop(self) -> None:
+        """Stop the dispatch loop after the in-flight batch completes."""
+        self._running = False
+        if self._task is not None:
+            try:
+                await asyncio.wait_for(self._task, timeout=5.0)
+            except asyncio.TimeoutError:
+                self._task.cancel()
+                try:
+                    await self._task
+                except asyncio.CancelledError:
+                    pass
+            self._task = None
+
+    async def _run(self) -> None:
+        while self._running:
+            if self.queue.closed and self.queue.qsize() == 0:
+                return
+            batch = await self.queue.get_batch(
+                max_batch_size=self.controller.current_batch_size(),
+                batch_wait_timeout_ms=self.batch_wait_timeout_ms,
+            )
+            if not batch:
+                continue
+            await self.dispatch_batch(batch)
+
+    async def dispatch_batch(self, batch: List[PendingQuery]) -> None:
+        """Evaluate one batch on the replica and resolve its futures."""
+        now = time.monotonic()
+        if self.drop_expired:
+            live, expired = [], []
+            for item in batch:
+                (expired if item.expired(now) else live).append(item)
+            for item in expired:
+                if not item.future.done():
+                    item.future.set_exception(
+                        PredictionTimeoutError(item.query_id or -1, 0.0)
+                    )
+            batch = live
+            if not batch:
+                return
+
+        queue_time_ms = (now - min(item.enqueue_time for item in batch)) * 1000.0
+        inputs = [item.input for item in batch]
+        start = time.perf_counter()
+        try:
+            response = await self.replica.predict_batch(inputs)
+        except (RpcError, ContainerError) as exc:
+            self._fail_batch(batch, exc)
+            return
+        latency_ms = (time.perf_counter() - start) * 1000.0
+
+        self.controller.observe(len(batch), latency_ms)
+        stats = BatchStats(
+            model_id=self.replica.model_id,
+            replica_id=self.replica.replica_id,
+            batch_size=len(batch),
+            latency_ms=latency_ms,
+            queue_time_ms=queue_time_ms,
+        )
+        self.batch_history.append(stats)
+        prefix = f"model.{self.replica.model_id}"
+        self.metrics.histogram(f"{prefix}.batch_latency_ms").observe(latency_ms)
+        self.metrics.histogram(f"{prefix}.batch_size").observe(len(batch))
+        self.metrics.meter(f"{prefix}.throughput").mark(len(batch))
+
+        if not response.ok:
+            self._fail_batch(
+                batch, ContainerError(str(self.replica.model_id), response.error or "unknown")
+            )
+            return
+        for item, output in zip(batch, response.outputs):
+            if not item.future.done():
+                item.future.set_result(output)
+
+    @staticmethod
+    def _fail_batch(batch: List[PendingQuery], error: Exception) -> None:
+        for item in batch:
+            if not item.future.done():
+                item.future.set_exception(error)

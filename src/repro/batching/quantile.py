@@ -1,0 +1,150 @@
+"""Quantile-regression batch-size controller (paper §4.3.1).
+
+The paper observed a stable, roughly linear relationship between batch size
+and latency for its model containers (Figure 3) and therefore explored
+fitting a quantile regression of the 99th-percentile latency as a function
+of batch size, then setting the maximum batch size to the largest value
+whose predicted P99 latency still meets the SLO.  The two strategies perform
+nearly identically (Figure 4); AIMD remains the default because it is
+simpler and self-correcting.
+
+The fit minimises the pinball (quantile) loss for the line
+``latency = intercept + slope * batch_size`` via a small linear program
+solved with ``scipy.optimize.linprog``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.batching.controllers import BatchSizeController
+from repro.core.exceptions import ConfigurationError
+
+
+def fit_quantile_line(
+    batch_sizes: np.ndarray, latencies_ms: np.ndarray, quantile: float = 0.99
+) -> Tuple[float, float]:
+    """Fit ``latency ≈ intercept + slope * batch_size`` at the given quantile.
+
+    Returns ``(intercept, slope)``.  Uses the standard LP formulation of
+    quantile regression: minimise ``q·u + (1-q)·v`` subject to
+    ``y - (a + b·x) = u - v`` with ``u, v ≥ 0``.
+    """
+    x = np.asarray(batch_sizes, dtype=float).ravel()
+    y = np.asarray(latencies_ms, dtype=float).ravel()
+    if x.shape[0] != y.shape[0]:
+        raise ValueError("batch_sizes and latencies_ms must align")
+    if x.shape[0] < 2:
+        raise ValueError("at least two observations are required")
+    if not 0.0 < quantile < 1.0:
+        raise ValueError("quantile must be in (0, 1)")
+
+    n = x.shape[0]
+    # Decision variables: [a, b, u_1..u_n, v_1..v_n]
+    c = np.concatenate([[0.0, 0.0], np.full(n, quantile), np.full(n, 1.0 - quantile)])
+    A_eq = np.zeros((n, 2 + 2 * n))
+    A_eq[:, 0] = 1.0  # a
+    A_eq[:, 1] = x  # b * x
+    A_eq[:, 2 : 2 + n] = np.eye(n)  # + u
+    A_eq[:, 2 + n :] = -np.eye(n)  # - v
+    b_eq = y
+    bounds = [(None, None), (None, None)] + [(0.0, None)] * (2 * n)
+    result = linprog(c, A_eq=A_eq, b_eq=b_eq, bounds=bounds, method="highs")
+    if not result.success:
+        # Fall back to a least-squares line shifted to the empirical quantile,
+        # which is close enough for the controller's purposes.
+        slope, intercept = np.polyfit(x, y, 1)
+        residuals = y - (intercept + slope * x)
+        intercept += float(np.quantile(residuals, quantile))
+        return float(intercept), float(slope)
+    intercept, slope = float(result.x[0]), float(result.x[1])
+    return intercept, slope
+
+
+class QuantileRegressionController(BatchSizeController):
+    """Sets the max batch size from a P99-latency regression against batch size.
+
+    Until enough observations spanning at least two distinct batch sizes have
+    accumulated, the controller behaves like a conservative additive-increase
+    explorer; afterwards it solves the quantile regression over a sliding
+    window and picks the largest batch size whose predicted quantile latency
+    is within the SLO.
+    """
+
+    def __init__(
+        self,
+        slo_ms: float,
+        quantile: float = 0.99,
+        window: int = 200,
+        initial_batch_size: int = 1,
+        additive_increase: int = 1,
+        refit_interval: int = 10,
+        max_batch_size: int = 4096,
+    ) -> None:
+        super().__init__(slo_ms=slo_ms, max_batch_size=max_batch_size)
+        if not 0.0 < quantile < 1.0:
+            raise ConfigurationError("quantile must be in (0, 1)")
+        if window < 4:
+            raise ConfigurationError("window must be >= 4")
+        if refit_interval < 1:
+            raise ConfigurationError("refit_interval must be >= 1")
+        self.quantile = quantile
+        self.window = window
+        self.additive_increase = additive_increase
+        self.refit_interval = refit_interval
+        self._observations: Deque[Tuple[int, float]] = deque(maxlen=window)
+        self._batch_size = self._clamp(initial_batch_size)
+        self._since_refit = 0
+        self._last_latency_ms: Optional[float] = None
+        self.intercept_: Optional[float] = None
+        self.slope_: Optional[float] = None
+
+    def current_batch_size(self) -> int:
+        return self._batch_size
+
+    def observe(self, batch_size: int, latency_ms: float) -> None:
+        self._observations.append((int(batch_size), float(latency_ms)))
+        self._since_refit += 1
+        self._last_latency_ms = float(latency_ms)
+
+        distinct_sizes = {size for size, _ in self._observations}
+        if len(self._observations) < 8 or len(distinct_sizes) < 2:
+            # Exploration phase: grow additively (and back off on SLO misses)
+            # until the regression has something to fit.
+            if latency_ms > self.slo_ms:
+                self._batch_size = max(1, int(self._batch_size * 0.9))
+            elif batch_size >= self._batch_size:
+                self._batch_size = self._clamp(self._batch_size + self.additive_increase)
+            return
+
+        if self._since_refit >= self.refit_interval or latency_ms > self.slo_ms:
+            self._refit()
+            self._since_refit = 0
+
+    def _refit(self) -> None:
+        sizes = np.array([size for size, _ in self._observations], dtype=float)
+        latencies = np.array([lat for _, lat in self._observations], dtype=float)
+        intercept, slope = fit_quantile_line(sizes, latencies, self.quantile)
+        self.intercept_, self.slope_ = intercept, slope
+        if slope <= 1e-9:
+            # Latency is flat in batch size within the window: allow growth
+            # one step beyond the largest size we have tried so far.
+            self._batch_size = self._clamp(sizes.max() + self.additive_increase)
+            return
+        predicted_max = (self.slo_ms - intercept) / slope
+        candidate = self._clamp(np.floor(predicted_max))
+        if (
+            candidate <= self._batch_size
+            and self._last_latency_ms is not None
+            and self._last_latency_ms <= self.slo_ms
+        ):
+            # The regression can be pessimistic when the window only contains
+            # a narrow range of (noisy) small batch sizes; as long as the most
+            # recent batch met the SLO, keep exploring upward so the
+            # controller cannot lock itself into tiny batches.
+            candidate = self._clamp(self._batch_size + self.additive_increase)
+        self._batch_size = candidate

@@ -1,0 +1,122 @@
+"""Per-model batching queues.
+
+Queries dispatched to a model are appended to that model's batching queue;
+each replica's dispatcher repeatedly drains up to its controller's current
+maximum batch size.  The queue supports the delayed-batching behaviour of
+§4.3.2: when fewer queries than the target batch are waiting, the dispatcher
+may wait up to ``batch_wait_timeout_ms`` for more to arrive before sending a
+smaller batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass
+class PendingQuery:
+    """One query waiting in a batching queue."""
+
+    input: Any
+    future: asyncio.Future
+    enqueue_time: float = field(default_factory=time.monotonic)
+    deadline: Optional[float] = None
+    query_id: Optional[int] = None
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the query's deadline has already passed."""
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
+
+
+class BatchingQueue:
+    """FIFO of pending queries with async batch draining."""
+
+    def __init__(self, name: str = "queue", maxsize: int = 0) -> None:
+        self.name = name
+        self._queue: "asyncio.Queue[PendingQuery]" = asyncio.Queue(maxsize=maxsize)
+        self._closed = False
+
+    def qsize(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    async def put(self, item: PendingQuery) -> None:
+        """Enqueue one pending query."""
+        if self._closed:
+            raise RuntimeError(f"batching queue '{self.name}' is closed")
+        await self._queue.put(item)
+
+    def put_nowait(self, item: PendingQuery) -> None:
+        if self._closed:
+            raise RuntimeError(f"batching queue '{self.name}' is closed")
+        self._queue.put_nowait(item)
+
+    async def get_batch(
+        self,
+        max_batch_size: int,
+        batch_wait_timeout_ms: float = 0.0,
+        poll_interval_ms: float = 50.0,
+    ) -> List[PendingQuery]:
+        """Wait for work and return a batch of at most ``max_batch_size`` queries.
+
+        Blocks until at least one query is available (or the queue closes, in
+        which case an empty list is returned).  If the queue holds fewer than
+        ``max_batch_size`` queries and a positive ``batch_wait_timeout_ms`` is
+        configured, the call waits up to that long for additional queries —
+        the delayed-batching mechanism of §4.3.2 — before returning whatever
+        has arrived.
+        """
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+
+        first = await self._get_first(poll_interval_ms)
+        if first is None:
+            return []
+        batch = [first]
+        self._drain_into(batch, max_batch_size)
+
+        if len(batch) < max_batch_size and batch_wait_timeout_ms > 0:
+            deadline = time.monotonic() + batch_wait_timeout_ms / 1000.0
+            while len(batch) < max_batch_size:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout=remaining)
+                except asyncio.TimeoutError:
+                    break
+                batch.append(item)
+                self._drain_into(batch, max_batch_size)
+        return batch
+
+    async def _get_first(self, poll_interval_ms: float) -> Optional[PendingQuery]:
+        """Block for the first query, waking periodically to notice closure."""
+        while True:
+            if self._closed and self._queue.empty():
+                return None
+            try:
+                return await asyncio.wait_for(
+                    self._queue.get(), timeout=poll_interval_ms / 1000.0
+                )
+            except asyncio.TimeoutError:
+                continue
+
+    def _drain_into(self, batch: List[PendingQuery], max_batch_size: int) -> None:
+        """Move already-queued items into ``batch`` without waiting."""
+        while len(batch) < max_batch_size:
+            try:
+                batch.append(self._queue.get_nowait())
+            except asyncio.QueueEmpty:
+                return
+
+    def close(self) -> None:
+        """Mark the queue closed; dispatchers drain remaining items then stop."""
+        self._closed = True

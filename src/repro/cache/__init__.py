@@ -1,0 +1,7 @@
+"""Prediction cache (paper §4.2): CLOCK/LRU eviction, request/fetch API."""
+
+from repro.cache.clock import ClockCache
+from repro.cache.lru import LRUCache
+from repro.cache.prediction_cache import CacheStats, PredictionCache
+
+__all__ = ["ClockCache", "LRUCache", "PredictionCache", "CacheStats"]

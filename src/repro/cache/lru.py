@@ -1,0 +1,50 @@
+"""Exact LRU cache, used as a comparison policy for the prediction cache."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, List
+
+from repro.core.exceptions import CacheError
+
+
+class LRUCache:
+    """Fixed-capacity mapping with exact least-recently-used eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise CacheError("LRUCache capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value and mark it most-recently used."""
+        if key not in self._data:
+            return default
+        self._data.move_to_end(key)
+        return self._data[key]
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert or update ``key``, evicting the least-recently-used entry if full."""
+        if key in self._data:
+            self._data.move_to_end(key)
+            self._data[key] = value
+            return
+        if len(self._data) >= self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+        self._data[key] = value
+
+    def keys(self) -> List[Hashable]:
+        """Keys from least- to most-recently used."""
+        return list(self._data.keys())
+
+    def clear(self) -> None:
+        self._data.clear()

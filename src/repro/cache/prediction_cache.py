@@ -1,0 +1,154 @@
+"""The Clipper prediction cache (paper §4.2).
+
+The cache memoises the generic prediction function
+``Predict(m: ModelId, x: X) -> y: Y``: entries are keyed by the pair
+(model id, input hash).  Two properties from the paper are preserved:
+
+* A **non-blocking request/fetch API**.  ``request`` registers interest in a
+  (model, input) pair and returns whether the value is already present;
+  ``fetch`` returns the value if present without side effects.  The serving
+  engine calls ``request`` before enqueueing work and ``put`` when the model
+  container responds.
+* The cache also **accelerates feedback processing**: when feedback arrives,
+  the selection layer needs the predictions each model made for that input.
+  A cache hit avoids re-evaluating every model in the ensemble, which is the
+  source of the paper's 1.6× feedback-throughput improvement.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple, Union
+
+from repro.cache.clock import ClockCache
+from repro.cache.lru import LRUCache
+from repro.core.exceptions import CacheError
+from repro.core.types import ModelId, hash_input
+
+CacheKey = Tuple[str, str]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one prediction cache."""
+
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class PredictionCache:
+    """Per-model prediction cache with CLOCK or LRU eviction.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of (model, input) entries held; 0 disables caching
+        entirely (every lookup misses, every put is dropped).
+    eviction:
+        ``"clock"`` (paper default) or ``"lru"``.
+    """
+
+    def __init__(self, capacity: int = 65536, eviction: str = "clock") -> None:
+        if capacity < 0:
+            raise CacheError("capacity must be non-negative")
+        if eviction not in {"clock", "lru"}:
+            raise CacheError("eviction must be 'clock' or 'lru'")
+        self.capacity = capacity
+        self.eviction = eviction
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        if capacity == 0:
+            self._cache = None
+        elif eviction == "clock":
+            self._cache = ClockCache(capacity)
+        else:
+            self._cache = LRUCache(capacity)
+
+    @property
+    def enabled(self) -> bool:
+        return self._cache is not None
+
+    @staticmethod
+    def make_key(model_id: Union[ModelId, str], x: Any) -> CacheKey:
+        """Build the cache key for a model id and raw input."""
+        return (str(model_id), hash_input(x))
+
+    def request(self, model_id: Union[ModelId, str], x: Any) -> bool:
+        """Non-blocking request: returns True when the prediction is cached.
+
+        Mirrors the paper's ``request`` call, which "notifies the cache to
+        compute the prediction if it is not already present and returns a
+        boolean indicating whether the entry is in the cache".  The actual
+        computation is triggered by the caller when this returns ``False``.
+        """
+        return self.fetch(model_id, x) is not None
+
+    def fetch(self, model_id: Union[ModelId, str], x: Any) -> Optional[Any]:
+        """Return the cached prediction or ``None``; counts a hit or miss."""
+        if self._cache is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        key = self.make_key(model_id, x)
+        with self._lock:
+            sentinel = object()
+            value = self._cache.get(key, sentinel)
+            if value is sentinel:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return value
+
+    def fetch_by_hash(self, model_id: Union[ModelId, str], input_hash: str) -> Optional[Any]:
+        """Fetch using a precomputed input hash (used on the feedback path)."""
+        if self._cache is None:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        key = (str(model_id), input_hash)
+        with self._lock:
+            sentinel = object()
+            value = self._cache.get(key, sentinel)
+            if value is sentinel:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            return value
+
+    def put(self, model_id: Union[ModelId, str], x: Any, y: Any) -> None:
+        """Insert a model prediction for an input."""
+        if self._cache is None:
+            return
+        key = self.make_key(model_id, x)
+        with self._lock:
+            self._cache.put(key, y)
+            self.stats.inserts += 1
+
+    def put_by_hash(self, model_id: Union[ModelId, str], input_hash: str, y: Any) -> None:
+        """Insert using a precomputed input hash."""
+        if self._cache is None:
+            return
+        with self._lock:
+            self._cache.put((str(model_id), input_hash), y)
+            self.stats.inserts += 1
+
+    def __len__(self) -> int:
+        return 0 if self._cache is None else len(self._cache)
+
+    def clear(self) -> None:
+        if self._cache is not None:
+            with self._lock:
+                self._cache.clear()
+        self.stats = CacheStats()

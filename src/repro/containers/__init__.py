@@ -1,0 +1,22 @@
+"""Model containers (paper §4.4): the narrow-waist batch prediction interface."""
+
+from repro.containers.base import ModelContainer, FunctionContainer
+from repro.containers.noop import NoOpContainer
+from repro.containers.adapters import ClassifierContainer, HMMContainer
+from repro.containers.overhead import (
+    LanguageOverheadContainer,
+    SimulatedLatencyContainer,
+)
+from repro.containers.replica import ContainerReplica, ReplicaSet
+
+__all__ = [
+    "ModelContainer",
+    "FunctionContainer",
+    "NoOpContainer",
+    "ClassifierContainer",
+    "HMMContainer",
+    "LanguageOverheadContainer",
+    "SimulatedLatencyContainer",
+    "ContainerReplica",
+    "ReplicaSet",
+]

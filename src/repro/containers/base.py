@@ -1,0 +1,79 @@
+"""The model container interface — Clipper's "narrow waist".
+
+Listing 1 of the paper defines the entire contract a model must satisfy to
+be served by Clipper::
+
+    interface Predictor<X, Y> {
+        List<List<Y>> pred_batch(List<X> inputs);
+    }
+
+Here :class:`ModelContainer` is that interface: implement ``predict_batch``
+(and nothing else) and the model can be deployed behind caching, adaptive
+batching, replication and the selection layer.  Containers are stateless
+after construction — all model state is supplied when the container is
+built, mirroring the paper's statement that "the container itself is
+stateless after initialization".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Sequence
+
+
+class ModelContainer:
+    """Base class for model containers.
+
+    Subclasses implement :meth:`predict_batch`.  The default ``predict``
+    convenience method evaluates a single input through the batch path so
+    there is exactly one code path for inference.
+    """
+
+    #: Human-readable label of the underlying framework (for reporting).
+    framework: str = "custom"
+
+    def predict_batch(self, inputs: Sequence[Any]) -> List[Any]:
+        """Evaluate the model on a batch of inputs.
+
+        Must return exactly one output per input, in order.  Raising an
+        exception marks the whole batch as failed; the serving engine
+        translates that into per-query errors without crashing.
+        """
+        raise NotImplementedError
+
+    def predict(self, x: Any) -> Any:
+        """Evaluate a single input (convenience wrapper over the batch path)."""
+        outputs = self.predict_batch([x])
+        if len(outputs) != 1:
+            raise ValueError(
+                f"predict_batch returned {len(outputs)} outputs for a single input"
+            )
+        return outputs[0]
+
+    def healthy(self) -> bool:
+        """Liveness check used by the container runtime; override if needed."""
+        return True
+
+
+class FunctionContainer(ModelContainer):
+    """Adapts a plain ``f(inputs) -> outputs`` batch function into a container.
+
+    The cheapest way to deploy custom logic: the paper notes most container
+    implementations are only a few lines of code, and this is the Python
+    equivalent.
+    """
+
+    def __init__(self, fn: Callable[[Sequence[Any]], List[Any]], framework: str = "python") -> None:
+        if not callable(fn):
+            raise TypeError("fn must be callable")
+        self._fn = fn
+        self.framework = framework
+
+    def predict_batch(self, inputs: Sequence[Any]) -> List[Any]:
+        outputs = self._fn(inputs)
+        outputs = list(outputs)
+        if len(outputs) != len(inputs):
+            raise ValueError(
+                f"batch function returned {len(outputs)} outputs for "
+                f"{len(inputs)} inputs"
+            )
+        return outputs

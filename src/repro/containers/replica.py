@@ -1,0 +1,134 @@
+"""Container replicas and replica sets.
+
+Each deployed model can be replicated (paper §4.4.1); every replica gets its
+own RPC connection and — in the batching layer — its own adaptive batching
+queue, because "different replicas can have different performance
+characteristics".  A :class:`ContainerReplica` bundles one container
+instance with its RPC server/client pair; a :class:`ReplicaSet` owns all
+replicas of one model.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.containers.base import ModelContainer
+from repro.core.exceptions import ContainerError, RpcError
+from repro.core.types import ModelId
+from repro.rpc.client import RpcClient
+from repro.rpc.protocol import RpcResponse
+from repro.rpc.server import ContainerRpcServer
+from repro.rpc.transport import InProcessTransport
+
+
+class ContainerReplica:
+    """One running replica: container + RPC server + RPC client.
+
+    Parameters
+    ----------
+    model_id:
+        The deployed model this replica serves.
+    replica_id:
+        Index of the replica within its replica set.
+    container:
+        The model container instance owned exclusively by this replica.
+    use_executor:
+        Run container evaluation in the default thread-pool executor so
+        CPU-heavy batches overlap with the event loop (the analogue of the
+        paper's per-container worker threads).
+    serialize_messages:
+        Whether the in-process RPC round-trips through the binary serializer
+        (True charges realistic serialization overhead).
+    """
+
+    def __init__(
+        self,
+        model_id: ModelId,
+        replica_id: int,
+        container: ModelContainer,
+        use_executor: bool = True,
+        serialize_messages: bool = True,
+        rpc_timeout_s: Optional[float] = 30.0,
+    ) -> None:
+        self.model_id = model_id
+        self.replica_id = replica_id
+        self.container = container
+        self._transport = InProcessTransport(serialize_messages=serialize_messages)
+        self._server = ContainerRpcServer(
+            container, self._transport.server_side, use_executor=use_executor
+        )
+        self.client = RpcClient(self._transport.client_side, timeout_s=rpc_timeout_s)
+        self._started = False
+
+    async def start(self) -> None:
+        """Start the container-side RPC serving loop."""
+        if not self._started:
+            self._server.start()
+            self._started = True
+
+    async def stop(self) -> None:
+        """Stop the RPC server and close the client transport."""
+        if self._started:
+            await self.client.close()
+            await self._server.stop()
+            self._started = False
+
+    async def predict_batch(self, inputs: Sequence[Any]) -> RpcResponse:
+        """Evaluate one batch on this replica via RPC."""
+        if not self._started:
+            raise ContainerError(str(self.model_id), "replica is not started")
+        response = await self.client.predict(str(self.model_id), list(inputs))
+        return response
+
+    @property
+    def name(self) -> str:
+        return f"{self.model_id}[{self.replica_id}]"
+
+
+class ReplicaSet:
+    """All replicas of one deployed model."""
+
+    def __init__(
+        self,
+        model_id: ModelId,
+        container_factory: Callable[[], ModelContainer],
+        num_replicas: int = 1,
+        use_executor: bool = True,
+        serialize_messages: bool = True,
+    ) -> None:
+        if num_replicas < 1:
+            raise ContainerError(str(model_id), "num_replicas must be >= 1")
+        self.model_id = model_id
+        self.replicas: List[ContainerReplica] = []
+        for replica_id in range(num_replicas):
+            container = container_factory()
+            if not isinstance(container, ModelContainer):
+                raise ContainerError(
+                    str(model_id),
+                    f"container factory returned {type(container).__name__}, "
+                    "expected a ModelContainer",
+                )
+            self.replicas.append(
+                ContainerReplica(
+                    model_id=model_id,
+                    replica_id=replica_id,
+                    container=container,
+                    use_executor=use_executor,
+                    serialize_messages=serialize_messages,
+                )
+            )
+
+    async def start(self) -> None:
+        for replica in self.replicas:
+            await replica.start()
+
+    async def stop(self) -> None:
+        for replica in self.replicas:
+            await replica.stop()
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def __iter__(self):
+        return iter(self.replicas)

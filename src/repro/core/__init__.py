@@ -1,0 +1,28 @@
+"""Core Clipper serving engine: types, configuration, metrics and orchestration."""
+
+from repro.core.clipper import Clipper
+from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.exceptions import (
+    ClipperError,
+    ContainerError,
+    DeploymentError,
+    PredictionTimeoutError,
+    SelectionPolicyError,
+)
+from repro.core.types import Feedback, ModelId, Prediction, Query
+
+__all__ = [
+    "Clipper",
+    "ClipperConfig",
+    "BatchingConfig",
+    "ModelDeployment",
+    "Query",
+    "Prediction",
+    "Feedback",
+    "ModelId",
+    "ClipperError",
+    "ContainerError",
+    "DeploymentError",
+    "PredictionTimeoutError",
+    "SelectionPolicyError",
+]

@@ -1,0 +1,402 @@
+"""The Clipper serving engine.
+
+This module wires the two layers of the paper's architecture together for a
+single application:
+
+* the **model abstraction layer** — a prediction cache (§4.2), one adaptive
+  batching queue per deployed model with one dispatcher per container
+  replica (§4.3–4.4), and the RPC plumbing to the containers — and
+* the **model selection layer** — a pluggable selection policy with
+  per-context state (§5), straggler mitigation driven by the latency SLO
+  (§5.2.2), and the feedback path that joins application feedback with
+  cached predictions to update the policy.
+
+The public surface is intentionally small::
+
+    clipper = Clipper(ClipperConfig(app_name="demo", latency_slo_ms=20))
+    clipper.deploy_model(ModelDeployment("svm", make_svm_container))
+    await clipper.start()
+    prediction = await clipper.predict(Query(app_name="demo", input=x))
+    await clipper.feedback(Feedback(app_name="demo", input=x, label=y))
+    await clipper.stop()
+
+Synchronous convenience wrappers (``predict_sync`` etc.) run the coroutine
+on a private event loop for scripts and tests that are not async.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.batching.controllers import make_controller
+from repro.batching.dispatcher import ReplicaDispatcher
+from repro.batching.queue import BatchingQueue, PendingQuery
+from repro.cache.prediction_cache import PredictionCache
+from repro.containers.replica import ReplicaSet
+from repro.core.config import ClipperConfig, ModelDeployment
+from repro.core.exceptions import (
+    ClipperError,
+    DeploymentError,
+    PredictionTimeoutError,
+)
+from repro.core.metrics import MetricsRegistry
+from repro.core.types import Feedback, ModelId, Prediction, Query
+from repro.selection.manager import SelectionStateManager
+from repro.selection.policy import make_policy
+from repro.state.kvstore import KeyValueStore
+
+
+class _DeployedModel:
+    """Internal record of one deployed model and its serving machinery."""
+
+    def __init__(
+        self,
+        deployment: ModelDeployment,
+        replica_set: ReplicaSet,
+        queue: BatchingQueue,
+        dispatchers: List[ReplicaDispatcher],
+    ) -> None:
+        self.deployment = deployment
+        self.replica_set = replica_set
+        self.queue = queue
+        self.dispatchers = dispatchers
+
+    @property
+    def model_id(self) -> ModelId:
+        return self.replica_set.model_id
+
+
+class Clipper:
+    """A Clipper serving instance for one application."""
+
+    def __init__(
+        self,
+        config: Optional[ClipperConfig] = None,
+        state_store: Optional[KeyValueStore] = None,
+    ) -> None:
+        self.config = config or ClipperConfig()
+        self.metrics = MetricsRegistry()
+        self.cache = PredictionCache(
+            capacity=self.config.cache_size, eviction=self.config.cache_eviction
+        )
+        self.state_store = state_store or KeyValueStore()
+        self._models: Dict[str, _DeployedModel] = {}
+        self._selection: Optional[SelectionStateManager] = None
+        self._started = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- deployment -----------------------------------------------------------
+
+    def deploy_model(self, deployment: ModelDeployment) -> ModelId:
+        """Register a model behind the model abstraction layer.
+
+        May be called before or after :meth:`start`; models deployed after
+        start are brought up immediately.  Returns the assigned
+        :class:`ModelId`.
+        """
+        model_id = ModelId(deployment.name, deployment.version)
+        key = str(model_id)
+        if key in self._models:
+            raise DeploymentError(f"model '{key}' is already deployed")
+
+        replica_set = ReplicaSet(
+            model_id=model_id,
+            container_factory=deployment.container_factory,
+            num_replicas=deployment.num_replicas,
+            serialize_messages=deployment.serialize_rpc,
+        )
+        queue = BatchingQueue(name=key)
+        dispatchers = []
+        for replica in replica_set:
+            controller = make_controller(
+                deployment.batching, slo_ms=self.config.batch_latency_budget_ms
+            )
+            dispatchers.append(
+                ReplicaDispatcher(
+                    replica=replica,
+                    queue=queue,
+                    controller=controller,
+                    batch_wait_timeout_ms=deployment.batching.batch_wait_timeout_ms,
+                    metrics=self.metrics,
+                )
+            )
+        record = _DeployedModel(deployment, replica_set, queue, dispatchers)
+        self._models[key] = record
+        # Selection state must be rebuilt to include the new model.
+        self._selection = None
+        if self._started:
+            try:
+                running_loop = asyncio.get_running_loop()
+            except RuntimeError:
+                running_loop = None
+            if running_loop is not None:
+                # Deployment from async code while serving: bring the model up
+                # as a background task; queries queued before it finishes wait
+                # in the model's batching queue.
+                running_loop.create_task(self._start_model(record))
+            else:
+                self._run_coroutine_now(self._start_model(record))
+        return model_id
+
+    def deployed_models(self) -> List[ModelId]:
+        """Ids of every deployed model."""
+        return [record.model_id for record in self._models.values()]
+
+    @property
+    def selection_manager(self) -> SelectionStateManager:
+        """The selection-state manager (built lazily over the deployed models)."""
+        if self._selection is None:
+            if not self._models:
+                raise ClipperError("no models are deployed")
+            policy = make_policy(
+                self.config.selection_policy, **self.config.selection_policy_kwargs
+            )
+            self._selection = SelectionStateManager(
+                policy=policy,
+                model_ids=self.deployed_models(),
+                store=self.state_store,
+            )
+        return self._selection
+
+    # -- lifecycle ------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every deployed model's replicas and dispatchers."""
+        if self._started:
+            return
+        if not self._models:
+            raise ClipperError("cannot start Clipper with no deployed models")
+        for record in self._models.values():
+            await self._start_model(record)
+        self._started = True
+
+    async def _start_model(self, record: _DeployedModel) -> None:
+        await record.replica_set.start()
+        for dispatcher in record.dispatchers:
+            dispatcher.start()
+
+    async def stop(self) -> None:
+        """Stop dispatchers and container replicas."""
+        if not self._started:
+            return
+        for record in self._models.values():
+            record.queue.close()
+            for dispatcher in record.dispatchers:
+                await dispatcher.stop()
+            await record.replica_set.stop()
+        self._started = False
+
+    # -- prediction path ------------------------------------------------------
+
+    async def predict(self, query: Query) -> Prediction:
+        """Render a prediction for one query.
+
+        The request flows selection → cache → batching queues → containers →
+        combine, with the straggler-mitigation deadline derived from the
+        query's (or application's) latency SLO.
+        """
+        if not self._started:
+            raise ClipperError("Clipper is not started")
+        start = time.monotonic()
+        slo_ms = query.latency_slo_ms or self.config.latency_slo_ms
+        deadline = start + slo_ms / 1000.0
+
+        selected = self.selection_manager.select(query.input, context=query.user_id)
+        pending: Dict[str, asyncio.Future] = {}
+        predictions: Dict[str, Any] = {}
+        cache_hits = 0
+        for model_key in selected:
+            cached = self.cache.fetch(model_key, query.input)
+            if cached is not None:
+                predictions[model_key] = cached
+                cache_hits += 1
+                continue
+            future = await self._submit(model_key, query, deadline)
+            pending[model_key] = future
+
+        arrived = await self._await_predictions(pending, query, deadline)
+        for model_key, output in arrived.items():
+            self.cache.put(model_key, query.input, output)
+            predictions[model_key] = output
+
+        latency_ms = (time.monotonic() - start) * 1000.0
+        missing = tuple(key for key in selected if key not in predictions)
+
+        if not predictions:
+            if self.config.default_output is not None:
+                return self._finish(
+                    query, self.config.default_output, 0.0, latency_ms,
+                    selected, missing, default_used=True, from_cache=False,
+                )
+            raise PredictionTimeoutError(query.query_id, slo_ms)
+
+        output, confidence = self.selection_manager.combine(
+            query.input, predictions, context=query.user_id
+        )
+        default_used = False
+        if (
+            self.config.confidence_threshold > 0.0
+            and confidence < self.config.confidence_threshold
+            and self.config.default_output is not None
+        ):
+            output = self.config.default_output
+            default_used = True
+        return self._finish(
+            query,
+            output,
+            confidence,
+            latency_ms,
+            selected,
+            missing,
+            default_used=default_used,
+            from_cache=cache_hits == len(selected),
+        )
+
+    async def _submit(
+        self, model_key: str, query: Query, deadline: Optional[float]
+    ) -> asyncio.Future:
+        record = self._models.get(model_key)
+        if record is None:
+            raise DeploymentError(f"selection policy chose unknown model '{model_key}'")
+        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        item = PendingQuery(
+            input=query.input,
+            future=future,
+            deadline=deadline if self.config.straggler_mitigation else None,
+            query_id=query.query_id,
+        )
+        await record.queue.put(item)
+        return future
+
+    async def _await_predictions(
+        self,
+        pending: Dict[str, asyncio.Future],
+        query: Query,
+        deadline: float,
+    ) -> Dict[str, Any]:
+        """Wait for model responses, respecting the straggler deadline."""
+        results: Dict[str, Any] = {}
+        if not pending:
+            return results
+        futures = list(pending.values())
+        if self.config.straggler_mitigation:
+            timeout = max(deadline - time.monotonic(), 0.0)
+            done, not_done = await asyncio.wait(futures, timeout=timeout)
+        else:
+            done, not_done = await asyncio.wait(futures)
+        for model_key, future in pending.items():
+            if future in done and not future.cancelled() and future.exception() is None:
+                results[model_key] = future.result()
+            elif future in done and future.exception() is not None:
+                self.metrics.counter("predict.container_errors").increment()
+        # Late (straggler) predictions are not returned to the application, but
+        # when they do complete their results still populate the cache so the
+        # feedback path can join against them.
+        for model_key, future in pending.items():
+            if future in not_done:
+                self.metrics.counter("predict.stragglers").increment()
+                future.add_done_callback(
+                    self._make_late_completion_callback(model_key, query.input)
+                )
+        return results
+
+    def _make_late_completion_callback(self, model_key: str, query_input: Any):
+        def _on_done(future: asyncio.Future) -> None:
+            if not future.cancelled() and future.exception() is None:
+                self.cache.put(model_key, query_input, future.result())
+
+        return _on_done
+
+    def _finish(
+        self,
+        query: Query,
+        output: Any,
+        confidence: float,
+        latency_ms: float,
+        selected: List[str],
+        missing: tuple,
+        default_used: bool,
+        from_cache: bool,
+    ) -> Prediction:
+        self.metrics.histogram("predict.latency_ms").observe(latency_ms)
+        self.metrics.meter("predict.throughput").mark()
+        self.metrics.counter("predict.count").increment()
+        if default_used:
+            self.metrics.counter("predict.defaults").increment()
+        return Prediction(
+            query_id=query.query_id,
+            app_name=query.app_name,
+            output=output,
+            confidence=confidence,
+            latency_ms=latency_ms,
+            default_used=default_used,
+            models_used=tuple(key for key in selected if key not in missing),
+            models_missing=missing,
+            from_cache=from_cache,
+        )
+
+    # -- feedback path --------------------------------------------------------
+
+    async def feedback(self, feedback: Feedback) -> None:
+        """Incorporate application feedback into the selection policy.
+
+        The selection layer needs each model's prediction for the feedback
+        input.  Cached predictions are joined directly; for cache misses the
+        models are (re-)evaluated through the normal batching path, which is
+        exactly the work the prediction cache saves (§4.2).
+        """
+        if not self._started:
+            raise ClipperError("Clipper is not started")
+        predictions: Dict[str, Any] = {}
+        pending: Dict[str, asyncio.Future] = {}
+        for model_key in self._models:
+            cached = self.cache.fetch(model_key, feedback.input)
+            if cached is not None:
+                predictions[model_key] = cached
+            else:
+                query = Query(app_name=feedback.app_name, input=feedback.input)
+                pending[model_key] = await self._submit(model_key, query, deadline=None)
+        if pending:
+            await asyncio.wait(list(pending.values()))
+            for model_key, future in pending.items():
+                if future.exception() is None:
+                    output = future.result()
+                    predictions[model_key] = output
+                    self.cache.put(model_key, feedback.input, output)
+        self.selection_manager.observe(
+            feedback.input, feedback.label, predictions, context=feedback.user_id
+        )
+        self.metrics.counter("feedback.count").increment()
+        self.metrics.meter("feedback.throughput").mark()
+
+    # -- synchronous conveniences ----------------------------------------------
+
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None or self._loop.is_closed():
+            self._loop = asyncio.new_event_loop()
+        return self._loop
+
+    def _run_coroutine_now(self, coroutine) -> Any:
+        loop = self._ensure_loop()
+        return loop.run_until_complete(coroutine)
+
+    def start_sync(self) -> None:
+        """Blocking wrapper around :meth:`start` for non-async callers."""
+        self._run_coroutine_now(self.start())
+
+    def stop_sync(self) -> None:
+        """Blocking wrapper around :meth:`stop`."""
+        self._run_coroutine_now(self.stop())
+        if self._loop is not None and not self._loop.is_closed():
+            self._loop.close()
+            self._loop = None
+
+    def predict_sync(self, query: Query) -> Prediction:
+        """Blocking wrapper around :meth:`predict`."""
+        return self._run_coroutine_now(self.predict(query))
+
+    def feedback_sync(self, feedback: Feedback) -> None:
+        """Blocking wrapper around :meth:`feedback`."""
+        self._run_coroutine_now(self.feedback(feedback))

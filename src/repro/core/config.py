@@ -1,0 +1,169 @@
+"""Configuration objects for the Clipper serving engine.
+
+Configuration is split by layer: :class:`BatchingConfig` controls the model
+abstraction layer's adaptive batching (§4.3), :class:`ModelDeployment`
+describes one deployed model (container factory, replicas, batching policy)
+and :class:`ClipperConfig` collects the application-level settings (latency
+SLO, selection policy, cache sizing, straggler mitigation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.exceptions import ConfigurationError
+
+#: Default application latency service-level objective in milliseconds.  The
+#: paper uses a 20 ms SLO for most microbenchmarks.
+DEFAULT_SLO_MS = 20.0
+
+
+@dataclass
+class BatchingConfig:
+    """Configuration of one model's adaptive batching queue.
+
+    Parameters
+    ----------
+    policy:
+        Batch-size control policy: ``"aimd"`` (default), ``"quantile"``,
+        ``"fixed"`` or ``"none"``.
+    initial_batch_size:
+        Starting maximum batch size for the adaptive controllers, and the
+        static size for the ``"fixed"`` policy.
+    additive_increase:
+        AIMD additive increment applied while batches complete under the SLO.
+    backoff_fraction:
+        AIMD multiplicative backoff (paper: reduce by 10% → 0.9).
+    max_batch_size:
+        Hard upper bound on the batch size regardless of the controller.
+    batch_wait_timeout_ms:
+        Delayed-batching timeout (§4.3.2): how long a dispatcher waits for
+        additional queries when the queue holds fewer than the target batch.
+    quantile:
+        Latency quantile targeted by the quantile-regression controller.
+    """
+
+    policy: str = "aimd"
+    initial_batch_size: int = 1
+    additive_increase: int = 1
+    backoff_fraction: float = 0.9
+    max_batch_size: int = 4096
+    batch_wait_timeout_ms: float = 0.0
+    quantile: float = 0.99
+    quantile_window: int = 200
+
+    def __post_init__(self) -> None:
+        valid = {"aimd", "quantile", "fixed", "none"}
+        if self.policy not in valid:
+            raise ConfigurationError(
+                f"unknown batching policy '{self.policy}', expected one of {sorted(valid)}"
+            )
+        if self.initial_batch_size < 1:
+            raise ConfigurationError("initial_batch_size must be >= 1")
+        if not 0.0 < self.backoff_fraction <= 1.0:
+            raise ConfigurationError("backoff_fraction must be in (0, 1]")
+        if self.max_batch_size < self.initial_batch_size:
+            raise ConfigurationError("max_batch_size must be >= initial_batch_size")
+        if self.batch_wait_timeout_ms < 0:
+            raise ConfigurationError("batch_wait_timeout_ms must be non-negative")
+        if not 0.0 < self.quantile < 1.0:
+            raise ConfigurationError("quantile must be in (0, 1)")
+
+
+@dataclass
+class ModelDeployment:
+    """Description of one model deployed behind the model abstraction layer.
+
+    Parameters
+    ----------
+    name:
+        Unique model name within the Clipper instance.
+    container_factory:
+        Zero-argument callable returning a fresh
+        :class:`repro.containers.base.ModelContainer`; called once per replica
+        so that replicas do not share mutable state.
+    num_replicas:
+        Number of container replicas (each gets its own batching queue, §4.4.1).
+    batching:
+        Per-model batching configuration.
+    version:
+        Model version; bumping the version creates a distinct :class:`ModelId`.
+    serialize_rpc:
+        Whether the container RPC round-trips every batch through the binary
+        serializer.  True models a container written against the Python
+        bindings (serialization cost paid in Python); False models a native
+        (C++-style) container whose serialization cost is negligible.
+    """
+
+    name: str
+    container_factory: Callable[[], object]
+    num_replicas: int = 1
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
+    version: int = 1
+    serialize_rpc: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("model deployment requires a non-empty name")
+        if self.num_replicas < 1:
+            raise ConfigurationError("num_replicas must be >= 1")
+
+
+@dataclass
+class ClipperConfig:
+    """Application-level configuration for a Clipper instance.
+
+    Parameters
+    ----------
+    app_name:
+        Name of the application registered with the query frontend.
+    latency_slo_ms:
+        Latency service-level objective; drives both adaptive batching and
+        the straggler-mitigation deadline.
+    selection_policy:
+        Name of the selection policy: ``"exp3"``, ``"exp4"``, ``"single"``,
+        ``"epsilon_greedy"`` or ``"ucb"``.
+    cache_size:
+        Maximum number of entries in the prediction cache (0 disables it).
+    cache_eviction:
+        ``"clock"`` (paper default) or ``"lru"``.
+    straggler_mitigation:
+        Whether to render predictions at the deadline with whatever subset of
+        model predictions is available (§5.2.2).
+    default_output:
+        Sensible default returned when no model prediction is available by the
+        deadline and the application opted into robust defaults.
+    slo_fraction_for_batching:
+        Fraction of the SLO budgeted to a single batch evaluation; the rest
+        covers queueing, RPC and combination overhead.
+    """
+
+    app_name: str = "default-app"
+    latency_slo_ms: float = DEFAULT_SLO_MS
+    selection_policy: str = "exp4"
+    selection_policy_kwargs: dict = field(default_factory=dict)
+    cache_size: int = 65536
+    cache_eviction: str = "clock"
+    straggler_mitigation: bool = True
+    default_output: Optional[object] = None
+    confidence_threshold: float = 0.0
+    slo_fraction_for_batching: float = 1.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.latency_slo_ms <= 0:
+            raise ConfigurationError("latency_slo_ms must be positive")
+        if self.cache_size < 0:
+            raise ConfigurationError("cache_size must be non-negative")
+        if self.cache_eviction not in {"clock", "lru"}:
+            raise ConfigurationError("cache_eviction must be 'clock' or 'lru'")
+        if not 0.0 < self.slo_fraction_for_batching <= 1.0:
+            raise ConfigurationError("slo_fraction_for_batching must be in (0, 1]")
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise ConfigurationError("confidence_threshold must be in [0, 1]")
+
+    @property
+    def batch_latency_budget_ms(self) -> float:
+        """Portion of the SLO available for evaluating a single batch."""
+        return self.latency_slo_ms * self.slo_fraction_for_batching

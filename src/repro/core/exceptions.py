@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Clipper reproduction.
+
+Every error raised by the library derives from :class:`ClipperError` so that
+applications can install a single catch-all handler around the serving path.
+"""
+
+from __future__ import annotations
+
+
+class ClipperError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ClipperError):
+    """Raised when a configuration object is internally inconsistent."""
+
+
+class DeploymentError(ClipperError):
+    """Raised when a model cannot be deployed (duplicate name, bad container)."""
+
+
+class ContainerError(ClipperError):
+    """Raised when a model container fails while evaluating a batch."""
+
+    def __init__(self, model_id: str, message: str) -> None:
+        super().__init__(f"container for model '{model_id}' failed: {message}")
+        self.model_id = model_id
+
+
+class RpcError(ClipperError):
+    """Raised when the RPC layer fails to complete a request."""
+
+
+class SerializationError(RpcError):
+    """Raised when a message cannot be encoded or decoded."""
+
+
+class PredictionTimeoutError(ClipperError):
+    """Raised when a prediction misses its latency deadline and no default exists."""
+
+    def __init__(self, query_id: int, deadline_ms: float) -> None:
+        super().__init__(
+            f"query {query_id} missed its latency deadline of {deadline_ms:.1f} ms"
+        )
+        self.query_id = query_id
+        self.deadline_ms = deadline_ms
+
+
+class SelectionPolicyError(ClipperError):
+    """Raised when a selection policy is misused or misconfigured."""
+
+
+class CacheError(ClipperError):
+    """Raised when the prediction cache is misconfigured."""
+
+
+class StateStoreError(ClipperError):
+    """Raised by the key-value state store on invalid operations."""

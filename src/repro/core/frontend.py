@@ -1,0 +1,86 @@
+"""Application-facing query frontend.
+
+Applications interact with Clipper through a REST/RPC interface exposing two
+operations: request a prediction, and return feedback about a prediction
+(Figure 2).  The :class:`QueryFrontend` is that interface for the
+reproduction: it hosts one or more applications (each backed by its own
+:class:`~repro.core.clipper.Clipper` instance), validates requests, and
+routes them by application name — the same role the REST API plays in the
+paper, minus the HTTP framing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.clipper import Clipper
+from repro.core.exceptions import ClipperError
+from repro.core.types import Feedback, Prediction, Query
+
+
+class QueryFrontend:
+    """Routes prediction and feedback requests to registered applications."""
+
+    def __init__(self) -> None:
+        self._applications: Dict[str, Clipper] = {}
+
+    def register_application(self, clipper: Clipper) -> str:
+        """Register an application; the name comes from the Clipper config."""
+        app_name = clipper.config.app_name
+        if app_name in self._applications:
+            raise ClipperError(f"application '{app_name}' is already registered")
+        self._applications[app_name] = clipper
+        return app_name
+
+    def applications(self) -> List[str]:
+        """Names of every registered application."""
+        return sorted(self._applications)
+
+    def _lookup(self, app_name: str) -> Clipper:
+        clipper = self._applications.get(app_name)
+        if clipper is None:
+            raise ClipperError(
+                f"unknown application '{app_name}'; registered: {self.applications()}"
+            )
+        return clipper
+
+    async def start(self) -> None:
+        """Start every registered application."""
+        for clipper in self._applications.values():
+            await clipper.start()
+
+    async def stop(self) -> None:
+        """Stop every registered application."""
+        for clipper in self._applications.values():
+            await clipper.stop()
+
+    async def predict(
+        self,
+        app_name: str,
+        x: Any,
+        user_id: Optional[str] = None,
+        latency_slo_ms: Optional[float] = None,
+    ) -> Prediction:
+        """Render a prediction through the named application."""
+        clipper = self._lookup(app_name)
+        query = Query(
+            app_name=app_name, input=x, user_id=user_id, latency_slo_ms=latency_slo_ms
+        )
+        return await clipper.predict(query)
+
+    async def update(
+        self,
+        app_name: str,
+        x: Any,
+        label: Any,
+        user_id: Optional[str] = None,
+    ) -> None:
+        """Send ground-truth feedback for an earlier prediction."""
+        clipper = self._lookup(app_name)
+        await clipper.feedback(
+            Feedback(app_name=app_name, input=x, label=label, user_id=user_id)
+        )
+
+    def app_metrics(self, app_name: str):
+        """Expose the metrics snapshot of one application (monitoring hook)."""
+        return self._lookup(app_name).metrics.snapshot()

@@ -1,0 +1,240 @@
+"""Lightweight metrics registry used throughout the serving stack.
+
+Clipper reports throughput and latency distributions (mean, P99) for every
+experiment in the paper.  This module provides the three metric primitives
+needed to regenerate those numbers — :class:`Counter`, :class:`Meter`
+(events/second over a window) and :class:`Histogram` (reservoir of recent
+observations with quantile queries) — plus a :class:`MetricsRegistry` that
+names and aggregates them.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, List, Optional
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def increment(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def reset(self) -> None:
+        with self._lock:
+            self._value = 0
+
+
+class Meter:
+    """Tracks the rate of events per second since creation or last reset."""
+
+    def __init__(self, name: str, clock=time.monotonic) -> None:
+        self.name = name
+        self._clock = clock
+        self._count = 0
+        self._start = clock()
+        self._lock = threading.Lock()
+
+    def mark(self, count: int = 1) -> None:
+        """Record ``count`` events."""
+        with self._lock:
+            self._count += count
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def rate(self) -> float:
+        """Mean events per second since the meter was created or reset."""
+        elapsed = self._clock() - self._start
+        if elapsed <= 0:
+            return 0.0
+        return self._count / elapsed
+
+    def reset(self) -> None:
+        with self._lock:
+            self._count = 0
+            self._start = self._clock()
+
+
+class Histogram:
+    """Sliding-window reservoir of observations supporting quantile queries."""
+
+    def __init__(self, name: str, window_size: int = 16384) -> None:
+        self.name = name
+        self._window: Deque[float] = deque(maxlen=window_size)
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        with self._lock:
+            self._window.append(float(value))
+            self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def values(self) -> List[float]:
+        with self._lock:
+            return list(self._window)
+
+    def mean(self) -> float:
+        values = self.values()
+        if not values:
+            return float("nan")
+        return float(np.mean(values))
+
+    def std(self) -> float:
+        values = self.values()
+        if not values:
+            return float("nan")
+        return float(np.std(values))
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th percentile (0-100) of the windowed observations."""
+        values = self.values()
+        if not values:
+            return float("nan")
+        return float(np.percentile(values, q))
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def p99(self) -> float:
+        return self.percentile(99)
+
+    def max(self) -> float:
+        values = self.values()
+        return max(values) if values else float("nan")
+
+    def reset(self) -> None:
+        with self._lock:
+            self._window.clear()
+            self._count = 0
+
+
+@dataclass
+class MetricsSnapshot:
+    """Immutable snapshot of every metric in a registry."""
+
+    counters: Dict[str, int]
+    meters: Dict[str, float]
+    histograms: Dict[str, Dict[str, float]]
+
+    def describe(self) -> str:
+        """Render the snapshot as a human-readable multi-line string."""
+        lines = []
+        for name, value in sorted(self.counters.items()):
+            lines.append(f"counter {name} = {value}")
+        for name, rate in sorted(self.meters.items()):
+            lines.append(f"meter {name} = {rate:.1f}/s")
+        for name, stats in sorted(self.histograms.items()):
+            rendered = ", ".join(f"{k}={v:.3f}" for k, v in stats.items())
+            lines.append(f"histogram {name}: {rendered}")
+        return "\n".join(lines)
+
+
+class MetricsRegistry:
+    """Named collection of counters, meters and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._meters: Dict[str, Meter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str) -> Counter:
+        """Return (creating if needed) the counter with ``name``."""
+        with self._lock:
+            if name not in self._counters:
+                self._counters[name] = Counter(name)
+            return self._counters[name]
+
+    def meter(self, name: str) -> Meter:
+        """Return (creating if needed) the meter with ``name``."""
+        with self._lock:
+            if name not in self._meters:
+                self._meters[name] = Meter(name)
+            return self._meters[name]
+
+    def histogram(self, name: str, window_size: int = 16384) -> Histogram:
+        """Return (creating if needed) the histogram with ``name``."""
+        with self._lock:
+            if name not in self._histograms:
+                self._histograms[name] = Histogram(name, window_size)
+            return self._histograms[name]
+
+    def snapshot(self) -> MetricsSnapshot:
+        """Capture the current value of every registered metric."""
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            meters = {n: m.rate() for n, m in self._meters.items()}
+            histograms = {}
+            for name, hist in self._histograms.items():
+                if hist.count == 0:
+                    histograms[name] = {"count": 0.0}
+                else:
+                    histograms[name] = {
+                        "count": float(hist.count),
+                        "mean": hist.mean(),
+                        "p50": hist.p50(),
+                        "p95": hist.p95(),
+                        "p99": hist.p99(),
+                        "max": hist.max(),
+                    }
+        return MetricsSnapshot(counters=counters, meters=meters, histograms=histograms)
+
+    def reset(self) -> None:
+        """Reset every metric in place (names are preserved)."""
+        with self._lock:
+            for counter in self._counters.values():
+                counter.reset()
+            for meter in self._meters.values():
+                meter.reset()
+            for histogram in self._histograms.values():
+                histogram.reset()
+
+
+def summarize_latencies(latencies_ms: Iterable[float]) -> Dict[str, float]:
+    """Summary statistics (mean/p50/p95/p99/max) for a latency sample in ms."""
+    values = np.asarray(list(latencies_ms), dtype=float)
+    if values.size == 0:
+        nan = float("nan")
+        return {"count": 0, "mean": nan, "p50": nan, "p95": nan, "p99": nan, "max": nan}
+    return {
+        "count": int(values.size),
+        "mean": float(values.mean()),
+        "p50": float(np.percentile(values, 50)),
+        "p95": float(np.percentile(values, 95)),
+        "p99": float(np.percentile(values, 99)),
+        "max": float(values.max()),
+    }
+
+
+def throughput_qps(num_queries: int, elapsed_seconds: float) -> float:
+    """Queries per second, guarding against a zero-length interval."""
+    if elapsed_seconds <= 0:
+        return 0.0 if num_queries == 0 else math.inf
+    return num_queries / elapsed_seconds

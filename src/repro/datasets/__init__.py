@@ -1,0 +1,30 @@
+"""Synthetic stand-ins for the paper's benchmark datasets (Table 1).
+
+The real MNIST / CIFAR-10 / ImageNet / TIMIT corpora are not available in
+this offline environment, so each has a deterministic synthetic generator
+matched to the original's input dimensionality, label cardinality and
+relative difficulty.  The serving experiments only depend on those
+structural properties, never on the semantic content of the images/audio.
+"""
+
+from repro.datasets.synthetic import SyntheticClassification, make_classification
+from repro.datasets.images import (
+    load_cifar_like,
+    load_imagenet_like,
+    load_mnist_like,
+)
+from repro.datasets.speech import DialectUtterance, load_timit_like
+from repro.datasets.registry import DATASET_REGISTRY, DatasetInfo, dataset_table
+
+__all__ = [
+    "SyntheticClassification",
+    "make_classification",
+    "load_mnist_like",
+    "load_cifar_like",
+    "load_imagenet_like",
+    "load_timit_like",
+    "DialectUtterance",
+    "DATASET_REGISTRY",
+    "DatasetInfo",
+    "dataset_table",
+]

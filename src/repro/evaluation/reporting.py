@@ -1,0 +1,36 @@
+"""Plain-text reporting helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:
+    """Render a list of row dictionaries as an aligned plain-text table.
+
+    All rows must share the same keys (the first row defines column order).
+    Floats are shown with four significant digits.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+
+    def render(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+    table = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(columns[i]), max(len(row[i]) for row in table))
+        for i in range(len(columns))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in table:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,182 @@
+"""Live serving measurements: throughput and latency through the full stack.
+
+These drivers are shared by the Figure 4 (batching strategies), Figure 5
+(delayed batching) and Figure 11 (TensorFlow Serving comparison) benchmark
+targets.  Each builds a serving system around a caller-supplied container
+factory, drives it with a workload client, and returns a
+:class:`ServingMeasurement` with the throughput and latency distribution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Sequence
+
+from repro.baselines.tfserving import TFServingLikeServer
+from repro.containers.base import ModelContainer
+from repro.core.clipper import Clipper
+from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.metrics import summarize_latencies, throughput_qps
+from repro.workloads.arrivals import ArrivalProcess
+from repro.workloads.clients import ClosedLoopClient, OpenLoopClient
+
+
+@dataclass
+class ServingMeasurement:
+    """Throughput and latency of one serving run."""
+
+    label: str
+    throughput_qps: float
+    mean_latency_ms: float
+    p99_latency_ms: float
+    num_queries: int
+    num_errors: int
+    mean_batch_size: float = 0.0
+
+    def as_row(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "throughput_qps": self.throughput_qps,
+            "mean_latency_ms": self.mean_latency_ms,
+            "p99_latency_ms": self.p99_latency_ms,
+            "mean_batch_size": self.mean_batch_size,
+            "errors": self.num_errors,
+        }
+
+
+def run_clipper_serving(
+    container_factory: Callable[[], ModelContainer],
+    inputs: Sequence[Any],
+    *,
+    label: str = "clipper",
+    num_queries: int = 500,
+    latency_slo_ms: float = 20.0,
+    batching: Optional[BatchingConfig] = None,
+    num_replicas: int = 1,
+    concurrency: int = 32,
+    arrivals: Optional[ArrivalProcess] = None,
+    cache_size: int = 0,
+    selection_policy: str = "single",
+    straggler_mitigation: bool = False,
+    serialize_rpc: bool = True,
+) -> ServingMeasurement:
+    """Serve one model through the full Clipper stack and measure it.
+
+    By default the workload is closed-loop (maximum sustained throughput,
+    like the paper's Figures 4 and 11); pass ``arrivals`` for an open-loop
+    run (moderate load, like Figure 5).  The prediction cache defaults to
+    disabled so repeated benchmark inputs measure model evaluation rather
+    than cache hits.
+    """
+    config = ClipperConfig(
+        app_name=f"bench-{label}",
+        latency_slo_ms=latency_slo_ms,
+        selection_policy=selection_policy,
+        cache_size=cache_size,
+        straggler_mitigation=straggler_mitigation,
+    )
+    clipper = Clipper(config)
+    clipper.deploy_model(
+        ModelDeployment(
+            name="model",
+            container_factory=container_factory,
+            num_replicas=num_replicas,
+            batching=batching or BatchingConfig(),
+            serialize_rpc=serialize_rpc,
+        )
+    )
+
+    async def run() -> ServingMeasurement:
+        await clipper.start()
+        try:
+            if arrivals is None:
+                client = ClosedLoopClient(clipper, inputs, concurrency=concurrency)
+            else:
+                client = OpenLoopClient(clipper, inputs, arrivals)
+            result = await client.run(num_queries)
+        finally:
+            await clipper.stop()
+        batch_sizes = clipper.metrics.histogram("model.model:1.batch_size")
+        mean_batch = batch_sizes.mean() if batch_sizes.count else 0.0
+        summary = result.latency_summary()
+        return ServingMeasurement(
+            label=label,
+            throughput_qps=result.throughput_qps,
+            mean_latency_ms=summary["mean"],
+            p99_latency_ms=summary["p99"],
+            num_queries=result.num_queries,
+            num_errors=result.num_errors,
+            mean_batch_size=float(mean_batch),
+        )
+
+    return _run_on_fresh_loop(run())
+
+
+def _run_on_fresh_loop(coroutine):
+    """Run a coroutine on a dedicated event loop and close it afterwards."""
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coroutine)
+    finally:
+        loop.close()
+
+
+def run_tfserving_baseline(
+    container: ModelContainer,
+    inputs: Sequence[Any],
+    *,
+    label: str = "tf-serving",
+    num_queries: int = 500,
+    batch_size: int = 32,
+    batch_timeout_ms: float = 2.0,
+    concurrency: int = 32,
+) -> ServingMeasurement:
+    """Serve one model through the TF-Serving-like baseline and measure it."""
+
+    async def run() -> ServingMeasurement:
+        server = TFServingLikeServer(
+            container, batch_size=batch_size, batch_timeout_ms=batch_timeout_ms
+        )
+        await server.start()
+        latencies = []
+        errors = 0
+        remaining = num_queries
+        lock = asyncio.Lock()
+        import time as _time
+
+        async def worker() -> None:
+            nonlocal remaining, errors
+            index = 0
+            while True:
+                async with lock:
+                    if remaining <= 0:
+                        return
+                    remaining -= 1
+                    index = num_queries - remaining
+                x = inputs[index % len(inputs)]
+                start = _time.monotonic()
+                try:
+                    await server.predict(x)
+                    latencies.append((_time.monotonic() - start) * 1000.0)
+                except Exception:
+                    errors += 1
+
+        start = _time.perf_counter()
+        await asyncio.gather(*[worker() for _ in range(concurrency)])
+        elapsed = _time.perf_counter() - start
+        await server.stop()
+        summary = summarize_latencies(latencies)
+        batch_hist = server.metrics.histogram("batch.size")
+        mean_batch = batch_hist.mean() if batch_hist.count else 0.0
+        return ServingMeasurement(
+            label=label,
+            throughput_qps=throughput_qps(num_queries - errors, elapsed),
+            mean_latency_ms=summary["mean"],
+            p99_latency_ms=summary["p99"],
+            num_queries=num_queries,
+            num_errors=errors,
+            mean_batch_size=float(mean_batch),
+        )
+
+    return _run_on_fresh_loop(run())

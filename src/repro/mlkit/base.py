@@ -1,0 +1,106 @@
+"""Estimator base classes and input validation helpers for mlkit."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def check_2d(X, name: str = "X") -> np.ndarray:
+    """Coerce ``X`` to a 2-D float64 array, raising ``ValueError`` otherwise."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    if X.ndim != 2:
+        raise ValueError(f"{name} must be 2-dimensional, got shape {X.shape}")
+    if X.shape[0] == 0:
+        raise ValueError(f"{name} must contain at least one row")
+    if not np.all(np.isfinite(X)):
+        raise ValueError(f"{name} contains NaN or infinite values")
+    return X
+
+
+def check_Xy(X, y) -> Tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and aligned label vector."""
+    X = check_2d(X)
+    y = np.asarray(y)
+    if y.ndim != 1:
+        raise ValueError(f"y must be 1-dimensional, got shape {y.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent lengths: {X.shape[0]} != {y.shape[0]}"
+        )
+    return X, y
+
+
+def as_rng(random_state) -> np.random.Generator:
+    """Return a numpy Generator from a seed, Generator or ``None``."""
+    if isinstance(random_state, np.random.Generator):
+        return random_state
+    return np.random.default_rng(random_state)
+
+
+class BaseEstimator:
+    """Minimal base class: parameter introspection and repr."""
+
+    def get_params(self) -> dict:
+        """Return constructor parameters (public attributes set in ``__init__``)."""
+        return {
+            key: value
+            for key, value in vars(self).items()
+            if not key.startswith("_") and not key.endswith("_")
+        }
+
+    def __repr__(self) -> str:
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params().items())
+        return f"{type(self).__name__}({params})"
+
+
+class ClassifierMixin:
+    """Shared helpers for classifiers: label encoding, scoring and checks."""
+
+    classes_: np.ndarray
+
+    def _encode_labels(self, y: np.ndarray) -> np.ndarray:
+        """Store ``classes_`` and return integer-encoded labels."""
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        if self.classes_.shape[0] < 2:
+            raise ValueError("classifier requires at least two classes in y")
+        return encoded
+
+    def _decode_labels(self, indices: np.ndarray) -> np.ndarray:
+        return self.classes_[indices]
+
+    def _check_fitted(self) -> None:
+        if not hasattr(self, "classes_"):
+            raise RuntimeError(
+                f"{type(self).__name__} is not fitted yet; call fit() first"
+            )
+
+    def predict(self, X) -> np.ndarray:
+        """Predict class labels by taking the argmax of ``predict_proba``."""
+        proba = self.predict_proba(X)
+        return self._decode_labels(np.argmax(proba, axis=1))
+
+    def predict_proba(self, X) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def score(self, X, y) -> float:
+        """Mean accuracy on ``(X, y)``."""
+        X, y = check_Xy(X, y)
+        return float(np.mean(self.predict(X) == y))
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    shifted = logits - np.max(logits, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def one_hot(y: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels."""
+    encoded = np.zeros((y.shape[0], num_classes), dtype=np.float64)
+    encoded[np.arange(y.shape[0]), y] = 1.0
+    return encoded

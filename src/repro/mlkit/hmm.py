@@ -1,0 +1,242 @@
+"""Gaussian-emission hidden Markov model — the HTK stand-in.
+
+The paper's speech benchmark trains HTK hidden Markov models whose outputs
+are phoneme sequences for TIMIT utterances.  This module implements a
+Gaussian-emission HMM with:
+
+* supervised estimation from state-labelled frame sequences (the synthetic
+  TIMIT-like data provides per-frame phoneme labels, as forced alignment
+  would in the real pipeline),
+* forward-algorithm log-likelihood scoring, and
+* Viterbi decoding of the most likely state (phoneme) sequence.
+
+A :class:`HMMPhonemeClassifier` wraps one HMM per dialect-conditioned class
+and exposes the ``predict``/``predict_proba`` classifier API used by the rest
+of the serving stack, where the "label" of an utterance is its phoneme
+sequence collapsed to a transcription class.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.mlkit.base import BaseEstimator, ClassifierMixin, as_rng, softmax
+
+_LOG_ZERO = -1e30
+
+
+class GaussianHMM(BaseEstimator):
+    """HMM with diagonal-covariance Gaussian emissions.
+
+    Parameters
+    ----------
+    n_states:
+        Number of hidden states (phonemes).
+    n_features:
+        Dimensionality of the observation vectors (MFCC-like frames).
+    var_floor:
+        Lower bound applied to emission variances for numerical stability.
+    """
+
+    def __init__(
+        self,
+        n_states: int,
+        n_features: int,
+        var_floor: float = 1e-3,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if n_states < 1:
+            raise ValueError("n_states must be >= 1")
+        if n_features < 1:
+            raise ValueError("n_features must be >= 1")
+        self.n_states = n_states
+        self.n_features = n_features
+        self.var_floor = var_floor
+        self.random_state = random_state
+        rng = as_rng(random_state)
+        self.start_prob_ = np.full(n_states, 1.0 / n_states)
+        self.trans_prob_ = np.full((n_states, n_states), 1.0 / n_states)
+        self.means_ = rng.normal(0.0, 1.0, size=(n_states, n_features))
+        self.vars_ = np.ones((n_states, n_features))
+
+    # -- estimation ---------------------------------------------------------
+
+    def fit_supervised(
+        self,
+        sequences: Sequence[np.ndarray],
+        state_sequences: Sequence[np.ndarray],
+    ) -> "GaussianHMM":
+        """Estimate parameters from frame sequences with known state labels."""
+        if len(sequences) != len(state_sequences):
+            raise ValueError("sequences and state_sequences must align")
+        if not sequences:
+            raise ValueError("at least one training sequence is required")
+
+        start_counts = np.full(self.n_states, 1e-3)
+        trans_counts = np.full((self.n_states, self.n_states), 1e-3)
+        sums = np.zeros((self.n_states, self.n_features))
+        sq_sums = np.zeros((self.n_states, self.n_features))
+        frame_counts = np.zeros(self.n_states)
+
+        for frames, states in zip(sequences, state_sequences):
+            frames = np.asarray(frames, dtype=np.float64)
+            states = np.asarray(states, dtype=int)
+            if frames.shape[0] != states.shape[0]:
+                raise ValueError("frames and states must have the same length")
+            if frames.shape[1] != self.n_features:
+                raise ValueError(
+                    f"frames have {frames.shape[1]} features, expected {self.n_features}"
+                )
+            start_counts[states[0]] += 1.0
+            for prev, nxt in zip(states[:-1], states[1:]):
+                trans_counts[prev, nxt] += 1.0
+            for state in range(self.n_states):
+                mask = states == state
+                if not np.any(mask):
+                    continue
+                rows = frames[mask]
+                sums[state] += rows.sum(axis=0)
+                sq_sums[state] += (rows * rows).sum(axis=0)
+                frame_counts[state] += rows.shape[0]
+
+        self.start_prob_ = start_counts / start_counts.sum()
+        self.trans_prob_ = trans_counts / trans_counts.sum(axis=1, keepdims=True)
+        for state in range(self.n_states):
+            if frame_counts[state] > 0:
+                mean = sums[state] / frame_counts[state]
+                var = sq_sums[state] / frame_counts[state] - mean * mean
+                self.means_[state] = mean
+                self.vars_[state] = np.maximum(var, self.var_floor)
+        return self
+
+    # -- scoring ------------------------------------------------------------
+
+    def _log_emission(self, frames: np.ndarray) -> np.ndarray:
+        """Log emission probabilities of shape (T, n_states)."""
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2 or frames.shape[1] != self.n_features:
+            raise ValueError(
+                f"frames must be (T, {self.n_features}), got {frames.shape}"
+            )
+        diff = frames[:, None, :] - self.means_[None, :, :]
+        log_prob = -0.5 * np.sum(
+            np.log(2.0 * np.pi * self.vars_)[None, :, :]
+            + diff * diff / self.vars_[None, :, :],
+            axis=2,
+        )
+        return log_prob
+
+    def log_likelihood(self, frames: np.ndarray) -> float:
+        """Forward-algorithm log-likelihood of one observation sequence."""
+        log_emission = self._log_emission(frames)
+        log_start = np.log(self.start_prob_ + 1e-300)
+        log_trans = np.log(self.trans_prob_ + 1e-300)
+        alpha = log_start + log_emission[0]
+        for t in range(1, log_emission.shape[0]):
+            alpha = log_emission[t] + _logsumexp_rows(alpha[:, None] + log_trans)
+        return float(_logsumexp(alpha))
+
+    def viterbi(self, frames: np.ndarray) -> np.ndarray:
+        """Most likely hidden-state sequence for one observation sequence."""
+        log_emission = self._log_emission(frames)
+        T = log_emission.shape[0]
+        log_start = np.log(self.start_prob_ + 1e-300)
+        log_trans = np.log(self.trans_prob_ + 1e-300)
+        delta = log_start + log_emission[0]
+        backpointers = np.zeros((T, self.n_states), dtype=int)
+        for t in range(1, T):
+            scores = delta[:, None] + log_trans
+            backpointers[t] = np.argmax(scores, axis=0)
+            delta = log_emission[t] + np.max(scores, axis=0)
+        states = np.zeros(T, dtype=int)
+        states[-1] = int(np.argmax(delta))
+        for t in range(T - 2, -1, -1):
+            states[t] = backpointers[t + 1, states[t + 1]]
+        return states
+
+
+def _logsumexp(values: np.ndarray) -> float:
+    peak = np.max(values)
+    if peak <= _LOG_ZERO:
+        return _LOG_ZERO
+    return float(peak + np.log(np.sum(np.exp(values - peak))))
+
+
+def _logsumexp_rows(matrix: np.ndarray) -> np.ndarray:
+    peak = np.max(matrix, axis=0)
+    return peak + np.log(np.sum(np.exp(matrix - peak[None, :]), axis=0))
+
+
+class HMMPhonemeClassifier(BaseEstimator, ClassifierMixin):
+    """Utterance classifier built from one Gaussian HMM per class.
+
+    Each class (e.g. a word / transcription id in the synthetic TIMIT-like
+    benchmark) gets its own HMM trained on that class's utterances; an
+    utterance is classified by maximum log-likelihood across class HMMs,
+    mirroring the classic HTK isolated-recognition recipe.
+    """
+
+    def __init__(
+        self,
+        n_states: int = 5,
+        n_features: int = 13,
+        random_state: Optional[int] = None,
+    ) -> None:
+        self.n_states = n_states
+        self.n_features = n_features
+        self.random_state = random_state
+
+    def fit(self, sequences: Sequence[np.ndarray], y) -> "HMMPhonemeClassifier":
+        y = np.asarray(y)
+        if len(sequences) != y.shape[0]:
+            raise ValueError("sequences and y must align")
+        self.classes_ = np.unique(y)
+        if self.classes_.shape[0] < 2:
+            raise ValueError("classifier requires at least two classes")
+        rng = as_rng(self.random_state)
+        self.models_: Dict[object, GaussianHMM] = {}
+        for cls in self.classes_:
+            cls_sequences = [s for s, label in zip(sequences, y) if label == cls]
+            hmm = GaussianHMM(
+                n_states=self.n_states,
+                n_features=self.n_features,
+                random_state=int(rng.integers(0, 2**31 - 1)),
+            )
+            # Without forced alignments, assign frames to states uniformly in
+            # order — the standard flat-start initialisation.
+            state_seqs = [
+                np.minimum(
+                    (np.arange(len(seq)) * self.n_states) // max(len(seq), 1),
+                    self.n_states - 1,
+                )
+                for seq in cls_sequences
+            ]
+            hmm.fit_supervised(cls_sequences, state_seqs)
+            self.models_[cls] = hmm
+        return self
+
+    def decision_function(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        self._check_fitted()
+        scores = np.zeros((len(sequences), self.classes_.shape[0]))
+        for i, seq in enumerate(sequences):
+            for j, cls in enumerate(self.classes_):
+                scores[i, j] = self.models_[cls].log_likelihood(np.asarray(seq))
+        return scores
+
+    def predict_proba(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        # Log-likelihoods can be large in magnitude; normalise per row before
+        # the softmax so probabilities stay informative.
+        scores = self.decision_function(sequences)
+        scores = scores - scores.mean(axis=1, keepdims=True)
+        scores = scores / (np.abs(scores).max(axis=1, keepdims=True) + 1e-9)
+        return softmax(scores * 5.0)
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        scores = self.decision_function(sequences)
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def score(self, sequences: Sequence[np.ndarray], y) -> float:
+        y = np.asarray(y)
+        return float(np.mean(self.predict(sequences) == y))

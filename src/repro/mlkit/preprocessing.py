@@ -1,0 +1,73 @@
+"""Preprocessing utilities: feature scaling and dataset splitting."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mlkit.base import BaseEstimator, as_rng, check_2d
+
+
+class StandardScaler(BaseEstimator):
+    """Standardize features to zero mean and unit variance.
+
+    Constant features (zero variance) are left unscaled to avoid division by
+    zero, matching the behaviour a user of scikit-learn would expect.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: Optional[np.ndarray] = None
+        self.scale_: Optional[np.ndarray] = None
+
+    def fit(self, X) -> "StandardScaler":
+        X = check_2d(X)
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler is not fitted yet; call fit() first")
+        X = check_2d(X)
+        if X.shape[1] != self.mean_.shape[0]:
+            raise ValueError(
+                f"X has {X.shape[1]} features, scaler was fit on {self.mean_.shape[0]}"
+            )
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def train_test_split(
+    X,
+    y,
+    test_size: float = 0.25,
+    random_state=None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffle and split ``(X, y)`` into train and test partitions.
+
+    Parameters
+    ----------
+    test_size:
+        Fraction of rows assigned to the test partition, in (0, 1).
+    random_state:
+        Seed or Generator controlling the shuffle.
+    """
+    if not 0.0 < test_size < 1.0:
+        raise ValueError("test_size must be in (0, 1)")
+    X = np.asarray(X)
+    y = np.asarray(y)
+    if X.shape[0] != y.shape[0]:
+        raise ValueError("X and y must have the same number of rows")
+    rng = as_rng(random_state)
+    n = X.shape[0]
+    indices = rng.permutation(n)
+    n_test = max(1, int(round(n * test_size)))
+    n_test = min(n_test, n - 1)
+    test_idx = indices[:n_test]
+    train_idx = indices[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]

@@ -1,0 +1,37 @@
+"""Lightweight RPC system connecting Clipper to its model containers.
+
+The paper's model containers communicate with Clipper over a minimal
+cross-language RPC protocol: length-prefixed framed messages carrying a
+batch of serialized inputs, answered with a batch of serialized outputs.
+This package implements the same narrow waist with two interchangeable
+transports: an in-process transport (used by default, zero-copy over asyncio
+queues) and a real TCP transport (length-prefixed frames over asyncio
+streams) for tests and examples that want genuine socket behaviour.
+"""
+
+from repro.rpc.serialization import deserialize, serialize
+from repro.rpc.protocol import (
+    MessageType,
+    RpcRequest,
+    RpcResponse,
+    decode_message,
+    encode_message,
+)
+from repro.rpc.transport import InProcessTransport, TcpTransport, Transport
+from repro.rpc.client import RpcClient
+from repro.rpc.server import ContainerRpcServer
+
+__all__ = [
+    "serialize",
+    "deserialize",
+    "MessageType",
+    "RpcRequest",
+    "RpcResponse",
+    "encode_message",
+    "decode_message",
+    "Transport",
+    "InProcessTransport",
+    "TcpTransport",
+    "RpcClient",
+    "ContainerRpcServer",
+]

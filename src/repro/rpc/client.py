@@ -1,0 +1,85 @@
+"""RPC client used by the model abstraction layer to reach a container replica."""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, List, Optional
+
+from repro.core.exceptions import RpcError
+from repro.rpc.protocol import MessageType, RpcRequest, RpcResponse, message_type
+from repro.rpc.transport import Transport
+
+
+class RpcClient:
+    """Sends batch prediction requests over a transport and awaits responses.
+
+    One client is bound to one container replica (matching the paper's one
+    queue / one RPC connection per replica design).  Requests are issued one
+    at a time per client; the batching dispatcher never pipelines more than
+    one outstanding batch per replica because the next batch's size depends
+    on the previous batch's measured latency.
+    """
+
+    def __init__(self, transport: Transport, timeout_s: Optional[float] = 30.0) -> None:
+        self._transport = transport
+        self._timeout_s = timeout_s
+        self._request_ids = itertools.count()
+        self._lock = asyncio.Lock()
+
+    async def predict(
+        self, model_name: str, inputs: List[Any], metadata: Optional[dict] = None
+    ) -> RpcResponse:
+        """Send one batch and wait for the aligned batch of outputs."""
+        if not inputs:
+            raise RpcError("cannot send an empty prediction batch")
+        request = RpcRequest(
+            request_id=next(self._request_ids),
+            model_name=model_name,
+            inputs=inputs,
+            metadata=metadata or {},
+        )
+        async with self._lock:
+            await self._transport.send(request.to_payload())
+            payload = await self._recv_matching(request.request_id)
+        response = RpcResponse.from_payload(payload)
+        if response.ok and len(response.outputs) != len(inputs):
+            raise RpcError(
+                f"container returned {len(response.outputs)} outputs "
+                f"for a batch of {len(inputs)} inputs"
+            )
+        return response
+
+    async def heartbeat(self) -> bool:
+        """Check container liveness; returns True when it responds."""
+        request_id = next(self._request_ids)
+        async with self._lock:
+            await self._transport.send(
+                {"type": int(MessageType.HEARTBEAT), "request_id": request_id}
+            )
+            try:
+                payload = await self._recv_matching(request_id)
+            except RpcError:
+                return False
+        return message_type(payload) == MessageType.HEARTBEAT_RESPONSE
+
+    async def _recv_matching(self, request_id: int) -> dict:
+        """Receive until a payload with the expected request id arrives."""
+        while True:
+            if self._timeout_s is None:
+                payload = await self._transport.recv()
+            else:
+                try:
+                    payload = await asyncio.wait_for(
+                        self._transport.recv(), timeout=self._timeout_s
+                    )
+                except asyncio.TimeoutError as exc:
+                    raise RpcError(
+                        f"timed out after {self._timeout_s}s waiting for response"
+                    ) from exc
+            if int(payload.get("request_id", -1)) == request_id:
+                return payload
+            # Stale response from an abandoned request: drop and keep reading.
+
+    async def close(self) -> None:
+        await self._transport.close()

@@ -1,0 +1,129 @@
+"""RPC message types and wire framing.
+
+A message is a single serialized dict with a fixed envelope::
+
+    {"type": <int>, "request_id": <int>, ...payload fields}
+
+framed on the wire as a 4-byte little-endian length prefix followed by the
+serialized bytes.  Three message types cover the container protocol:
+``PREDICT`` (a batch of inputs), ``PREDICT_RESPONSE`` (a batch of outputs or
+an error) and ``HEARTBEAT`` (liveness checks used by the container runtime).
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from repro.core.exceptions import SerializationError
+from repro.rpc.serialization import deserialize, serialize
+
+#: Maximum frame size accepted by the decoder (guards against corrupt prefixes).
+MAX_FRAME_BYTES = 256 * 1024 * 1024
+
+
+class MessageType(enum.IntEnum):
+    """Wire message discriminator."""
+
+    PREDICT = 1
+    PREDICT_RESPONSE = 2
+    HEARTBEAT = 3
+    HEARTBEAT_RESPONSE = 4
+
+
+@dataclass
+class RpcRequest:
+    """A batch prediction request sent from Clipper to one container replica."""
+
+    request_id: int
+    model_name: str
+    inputs: List[Any]
+    metadata: dict = field(default_factory=dict)
+
+    def to_payload(self) -> dict:
+        return {
+            "type": int(MessageType.PREDICT),
+            "request_id": self.request_id,
+            "model_name": self.model_name,
+            "inputs": list(self.inputs),
+            "metadata": self.metadata,
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "RpcRequest":
+        return RpcRequest(
+            request_id=int(payload["request_id"]),
+            model_name=str(payload["model_name"]),
+            inputs=list(payload["inputs"]),
+            metadata=dict(payload.get("metadata", {})),
+        )
+
+
+@dataclass
+class RpcResponse:
+    """A batch prediction response (outputs aligned with the request inputs)."""
+
+    request_id: int
+    outputs: List[Any]
+    error: Optional[str] = None
+    container_latency_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def to_payload(self) -> dict:
+        return {
+            "type": int(MessageType.PREDICT_RESPONSE),
+            "request_id": self.request_id,
+            "outputs": list(self.outputs),
+            "error": self.error,
+            "container_latency_ms": float(self.container_latency_ms),
+        }
+
+    @staticmethod
+    def from_payload(payload: dict) -> "RpcResponse":
+        return RpcResponse(
+            request_id=int(payload["request_id"]),
+            outputs=list(payload.get("outputs", [])),
+            error=payload.get("error"),
+            container_latency_ms=float(payload.get("container_latency_ms", 0.0)),
+        )
+
+
+def encode_message(payload: dict) -> bytes:
+    """Serialize a payload dict and prepend the 4-byte length prefix."""
+    body = serialize(payload)
+    if len(body) > MAX_FRAME_BYTES:
+        raise SerializationError(f"frame of {len(body)} bytes exceeds maximum")
+    return struct.pack("<I", len(body)) + body
+
+
+def decode_message(data: bytes) -> Tuple[dict, bytes]:
+    """Decode one framed message from ``data``.
+
+    Returns the payload dict and any remaining unconsumed bytes.  Raises
+    :class:`SerializationError` when fewer bytes than one whole frame are
+    available, so stream readers can accumulate and retry.
+    """
+    if len(data) < 4:
+        raise SerializationError("incomplete frame header")
+    (length,) = struct.unpack_from("<I", data, 0)
+    if length > MAX_FRAME_BYTES:
+        raise SerializationError(f"frame length {length} exceeds maximum")
+    if len(data) < 4 + length:
+        raise SerializationError("incomplete frame body")
+    payload = deserialize(bytes(data[4 : 4 + length]))
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise SerializationError("frame payload is not a valid message envelope")
+    return payload, data[4 + length :]
+
+
+def message_type(payload: dict) -> MessageType:
+    """Return the :class:`MessageType` of a decoded payload."""
+    try:
+        return MessageType(int(payload["type"]))
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"invalid message type: {exc}") from exc

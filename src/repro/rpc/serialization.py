@@ -1,0 +1,185 @@
+"""Binary serialization for RPC payloads.
+
+The format is a small, self-describing tagged binary encoding built on
+``struct``: it supports the value types that flow across the
+Clipper-to-container boundary — numpy arrays (the common case), Python
+scalars, strings, bytes, lists/tuples and dicts.  It deliberately avoids
+``pickle`` so that the wire format is language-neutral in spirit, matching
+the paper's cross-language RPC goal, and so that deserialization of
+untrusted bytes cannot execute code.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import SerializationError
+
+# One-byte type tags.
+_TAG_NONE = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_BOOL = 3
+_TAG_STR = 4
+_TAG_BYTES = 5
+_TAG_LIST = 6
+_TAG_DICT = 7
+_TAG_NDARRAY = 8
+
+_MAX_DEPTH = 32
+
+
+def serialize(value: Any) -> bytes:
+    """Encode ``value`` into the tagged binary format."""
+    out = bytearray()
+    _encode(value, out, depth=0)
+    return bytes(out)
+
+
+def deserialize(data: bytes) -> Any:
+    """Decode a value previously produced by :func:`serialize`."""
+    value, offset = _decode(memoryview(data), 0, depth=0)
+    if offset != len(data):
+        raise SerializationError(
+            f"trailing bytes after decoded value: {len(data) - offset} left"
+        )
+    return value
+
+
+def _encode(value: Any, out: bytearray, depth: int) -> None:
+    if depth > _MAX_DEPTH:
+        raise SerializationError("value nesting exceeds maximum depth")
+    if value is None:
+        out.append(_TAG_NONE)
+    elif isinstance(value, bool):
+        # bool must be checked before int: bool is a subclass of int.
+        out.append(_TAG_BOOL)
+        out.append(1 if value else 0)
+    elif isinstance(value, (int, np.integer)):
+        out.append(_TAG_INT)
+        out.extend(struct.pack("<q", int(value)))
+    elif isinstance(value, (float, np.floating)):
+        out.append(_TAG_FLOAT)
+        out.extend(struct.pack("<d", float(value)))
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        out.append(_TAG_STR)
+        out.extend(struct.pack("<I", len(encoded)))
+        out.extend(encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        out.append(_TAG_BYTES)
+        out.extend(struct.pack("<I", len(value)))
+        out.extend(value)
+    elif isinstance(value, np.ndarray):
+        _encode_ndarray(value, out)
+    elif isinstance(value, (list, tuple)):
+        out.append(_TAG_LIST)
+        out.extend(struct.pack("<I", len(value)))
+        for item in value:
+            _encode(item, out, depth + 1)
+    elif isinstance(value, dict):
+        out.append(_TAG_DICT)
+        out.extend(struct.pack("<I", len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise SerializationError("dict keys must be strings")
+            _encode(key, out, depth + 1)
+            _encode(item, out, depth + 1)
+    else:
+        raise SerializationError(f"cannot serialize value of type {type(value).__name__}")
+
+
+def _encode_ndarray(array: np.ndarray, out: bytearray) -> None:
+    if array.dtype.hasobject:
+        raise SerializationError("object-dtype arrays are not serializable")
+    contiguous = np.ascontiguousarray(array)
+    dtype_name = contiguous.dtype.str.encode("ascii")
+    out.append(_TAG_NDARRAY)
+    out.extend(struct.pack("<B", len(dtype_name)))
+    out.extend(dtype_name)
+    out.extend(struct.pack("<B", contiguous.ndim))
+    for dim in contiguous.shape:
+        out.extend(struct.pack("<q", dim))
+    raw = contiguous.tobytes()
+    out.extend(struct.pack("<Q", len(raw)))
+    out.extend(raw)
+
+
+def _decode(view: memoryview, offset: int, depth: int) -> Tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise SerializationError("value nesting exceeds maximum depth")
+    if offset >= len(view):
+        raise SerializationError("unexpected end of buffer")
+    tag = view[offset]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_BOOL:
+        return bool(view[offset]), offset + 1
+    if tag == _TAG_INT:
+        (value,) = struct.unpack_from("<q", view, offset)
+        return int(value), offset + 8
+    if tag == _TAG_FLOAT:
+        (value,) = struct.unpack_from("<d", view, offset)
+        return float(value), offset + 8
+    if tag == _TAG_STR:
+        (length,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        raw = bytes(view[offset : offset + length])
+        if len(raw) != length:
+            raise SerializationError("truncated string payload")
+        return raw.decode("utf-8"), offset + length
+    if tag == _TAG_BYTES:
+        (length,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        raw = bytes(view[offset : offset + length])
+        if len(raw) != length:
+            raise SerializationError("truncated bytes payload")
+        return raw, offset + length
+    if tag == _TAG_LIST:
+        (length,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        items = []
+        for _ in range(length):
+            item, offset = _decode(view, offset, depth + 1)
+            items.append(item)
+        return items, offset
+    if tag == _TAG_DICT:
+        (length,) = struct.unpack_from("<I", view, offset)
+        offset += 4
+        result = {}
+        for _ in range(length):
+            key, offset = _decode(view, offset, depth + 1)
+            value, offset = _decode(view, offset, depth + 1)
+            result[key] = value
+        return result, offset
+    if tag == _TAG_NDARRAY:
+        return _decode_ndarray(view, offset)
+    raise SerializationError(f"unknown type tag {tag}")
+
+
+def _decode_ndarray(view: memoryview, offset: int) -> Tuple[np.ndarray, int]:
+    (dtype_len,) = struct.unpack_from("<B", view, offset)
+    offset += 1
+    dtype_name = bytes(view[offset : offset + dtype_len]).decode("ascii")
+    offset += dtype_len
+    (ndim,) = struct.unpack_from("<B", view, offset)
+    offset += 1
+    shape = []
+    for _ in range(ndim):
+        (dim,) = struct.unpack_from("<q", view, offset)
+        shape.append(int(dim))
+        offset += 8
+    (nbytes,) = struct.unpack_from("<Q", view, offset)
+    offset += 8
+    raw = bytes(view[offset : offset + nbytes])
+    if len(raw) != nbytes:
+        raise SerializationError("truncated ndarray payload")
+    try:
+        array = np.frombuffer(raw, dtype=np.dtype(dtype_name)).reshape(shape)
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"invalid ndarray payload: {exc}") from exc
+    return array.copy(), offset + nbytes

@@ -1,0 +1,102 @@
+"""Container-side RPC server: receives batches, evaluates the model, replies."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+from repro.core.exceptions import RpcError
+from repro.rpc.protocol import MessageType, RpcRequest, RpcResponse, message_type
+from repro.rpc.transport import Transport
+
+
+class ContainerRpcServer:
+    """Serves one model container over one transport.
+
+    The server loop mirrors the paper's container runtime: it blocks on the
+    next framed request, evaluates the container's ``predict_batch`` on the
+    decoded inputs (optionally in a thread-pool executor so CPU-heavy models
+    don't stall the event loop), and replies with the aligned outputs and the
+    measured container-side latency.
+    """
+
+    def __init__(
+        self,
+        container,
+        transport: Transport,
+        use_executor: bool = False,
+    ) -> None:
+        self._container = container
+        self._transport = transport
+        self._use_executor = use_executor
+        self._task: Optional[asyncio.Task] = None
+        self.requests_served = 0
+
+    def start(self) -> asyncio.Task:
+        """Start the serving loop as a background task."""
+        if self._task is None or self._task.done():
+            self._task = asyncio.get_event_loop().create_task(self.serve_forever())
+        return self._task
+
+    async def serve_forever(self) -> None:
+        """Process requests until the transport closes."""
+        while True:
+            try:
+                payload = await self._transport.recv()
+            except RpcError:
+                return
+            kind = message_type(payload)
+            if kind == MessageType.HEARTBEAT:
+                await self._transport.send(
+                    {
+                        "type": int(MessageType.HEARTBEAT_RESPONSE),
+                        "request_id": int(payload["request_id"]),
+                    }
+                )
+                continue
+            if kind != MessageType.PREDICT:
+                continue
+            request = RpcRequest.from_payload(payload)
+            response = await self._evaluate(request)
+            try:
+                await self._transport.send(response.to_payload())
+            except RpcError:
+                return
+
+    async def _evaluate(self, request: RpcRequest) -> RpcResponse:
+        start = time.perf_counter()
+        try:
+            if self._use_executor:
+                loop = asyncio.get_event_loop()
+                outputs = await loop.run_in_executor(
+                    None, self._container.predict_batch, request.inputs
+                )
+            else:
+                outputs = self._container.predict_batch(request.inputs)
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            self.requests_served += 1
+            return RpcResponse(
+                request_id=request.request_id,
+                outputs=list(outputs),
+                container_latency_ms=latency_ms,
+            )
+        except Exception as exc:  # container failures must not kill the server
+            latency_ms = (time.perf_counter() - start) * 1000.0
+            return RpcResponse(
+                request_id=request.request_id,
+                outputs=[],
+                error=f"{type(exc).__name__}: {exc}",
+                container_latency_ms=latency_ms,
+            )
+
+    async def stop(self) -> None:
+        """Close the transport and cancel the serving loop."""
+        await self._transport.close()
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except (asyncio.CancelledError, RpcError):
+                pass
+            self._task = None

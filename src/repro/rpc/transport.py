@@ -1,0 +1,191 @@
+"""RPC transports: in-process queues and real TCP sockets.
+
+A transport moves framed messages between Clipper (the client side) and a
+model container (the server side).  Both sides see the same tiny interface —
+``send(payload)`` / ``recv()`` / ``close()`` — so the serving engine is
+agnostic to whether a container runs in the same process (the default, like
+a co-located Docker container on the same host) or behind a socket.
+
+The in-process transport still round-trips every message through the binary
+serializer by default so that serialization overhead — part of what the
+paper's Figure 11 "top bar" measures — is paid even without a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Optional, Tuple
+
+from repro.core.exceptions import RpcError
+from repro.rpc.protocol import MAX_FRAME_BYTES
+from repro.rpc.serialization import deserialize, serialize
+
+
+class Transport:
+    """Abstract bidirectional message transport (one endpoint)."""
+
+    async def send(self, payload: dict) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    async def recv(self) -> dict:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    async def close(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class _QueueEndpoint(Transport):
+    """One end of an in-process transport pair."""
+
+    def __init__(
+        self,
+        outgoing: asyncio.Queue,
+        incoming: asyncio.Queue,
+        serialize_messages: bool,
+    ) -> None:
+        self._outgoing = outgoing
+        self._incoming = incoming
+        self._serialize = serialize_messages
+        self._closed = False
+
+    async def send(self, payload: dict) -> None:
+        if self._closed:
+            raise RpcError("transport is closed")
+        message = serialize(payload) if self._serialize else payload
+        await self._outgoing.put(message)
+
+    async def recv(self) -> dict:
+        if self._closed:
+            raise RpcError("transport is closed")
+        message = await self._incoming.get()
+        if message is None:
+            self._closed = True
+            raise RpcError("transport closed by peer")
+        return deserialize(message) if self._serialize else message
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            # Wake up a peer blocked in recv().
+            await self._outgoing.put(None)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class InProcessTransport:
+    """A connected pair of in-process endpoints backed by asyncio queues.
+
+    Parameters
+    ----------
+    serialize_messages:
+        When true (default) messages are encoded/decoded with the binary
+        serializer on every hop, charging realistic serialization cost.
+    """
+
+    def __init__(self, serialize_messages: bool = True) -> None:
+        client_to_server: asyncio.Queue = asyncio.Queue()
+        server_to_client: asyncio.Queue = asyncio.Queue()
+        self.client_side: Transport = _QueueEndpoint(
+            client_to_server, server_to_client, serialize_messages
+        )
+        self.server_side: Transport = _QueueEndpoint(
+            server_to_client, client_to_server, serialize_messages
+        )
+
+    def endpoints(self) -> Tuple[Transport, Transport]:
+        """Return the (client, server) endpoints."""
+        return self.client_side, self.server_side
+
+
+class TcpTransport(Transport):
+    """Length-prefix framed transport over an asyncio TCP stream."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._closed = False
+
+    @staticmethod
+    async def connect(host: str, port: int) -> "TcpTransport":
+        """Open a client connection to a listening container server."""
+        reader, writer = await asyncio.open_connection(host, port)
+        return TcpTransport(reader, writer)
+
+    async def send(self, payload: dict) -> None:
+        if self._closed:
+            raise RpcError("transport is closed")
+        body = serialize(payload)
+        if len(body) > MAX_FRAME_BYTES:
+            raise RpcError(f"frame of {len(body)} bytes exceeds maximum")
+        self._writer.write(struct.pack("<I", len(body)) + body)
+        await self._writer.drain()
+
+    async def recv(self) -> dict:
+        if self._closed:
+            raise RpcError("transport is closed")
+        try:
+            header = await self._reader.readexactly(4)
+            (length,) = struct.unpack("<I", header)
+            if length > MAX_FRAME_BYTES:
+                raise RpcError(f"frame length {length} exceeds maximum")
+            body = await self._reader.readexactly(length)
+        except (asyncio.IncompleteReadError, ConnectionError) as exc:
+            self._closed = True
+            raise RpcError(f"connection closed while reading frame: {exc}") from exc
+        return deserialize(body)
+
+    async def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+class TcpListener:
+    """Helper that accepts container connections and hands out transports."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._accepted: asyncio.Queue = asyncio.Queue()
+
+    async def start(self) -> None:
+        """Begin listening; ``port`` is updated with the bound port."""
+        self._server = await asyncio.start_server(
+            self._on_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await self._accepted.put(TcpTransport(reader, writer))
+
+    async def accept(self) -> TcpTransport:
+        """Wait for and return the next accepted connection."""
+        if self._server is None:
+            raise RpcError("listener is not started")
+        return await self._accepted.get()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None

@@ -1,0 +1,88 @@
+"""Ensemble combination helpers: voting and agreement-based confidence.
+
+The paper's ensemble selection policy computes a weighted combination of the
+base-model predictions and reports a *confidence* equal to the fraction of
+models agreeing with the final prediction (§5.2.1).  Under straggler
+mitigation, missing predictions lower the confidence because fewer models
+can agree (§5.2.2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, Optional, Tuple
+
+
+def majority_vote(predictions: Dict[str, Any]) -> Tuple[Any, float]:
+    """Unweighted majority vote.
+
+    Returns ``(winning_label, agreement_fraction)`` where the fraction is
+    computed over the models present in ``predictions``.  Ties are broken by
+    the smallest label repr for determinism.
+    """
+    return weighted_vote(predictions, weights=None)
+
+
+def weighted_vote(
+    predictions: Dict[str, Any], weights: Optional[Dict[str, float]] = None
+) -> Tuple[Any, float]:
+    """Weight-aware vote over the available model predictions.
+
+    Parameters
+    ----------
+    predictions:
+        Mapping of model key to predicted label (missing models omitted).
+    weights:
+        Optional per-model weights; missing or non-positive weights count as
+        a tiny epsilon so a model never fully disappears from the vote.
+
+    Returns
+    -------
+    (label, agreement):
+        The winning label and the *unweighted* fraction of available models
+        that predicted it — the paper's agreement-based confidence measure.
+    """
+    if not predictions:
+        raise ValueError("cannot combine an empty prediction map")
+    totals: Dict[Any, float] = defaultdict(float)
+    counts: Dict[Any, int] = defaultdict(int)
+    for model_key, label in predictions.items():
+        weight = 1.0
+        if weights is not None:
+            weight = max(float(weights.get(model_key, 0.0)), 1e-9)
+        totals[label] += weight
+        counts[label] += 1
+    winner = sorted(totals.items(), key=lambda kv: (-kv[1], repr(kv[0])))[0][0]
+    agreement = counts[winner] / len(predictions)
+    return winner, agreement
+
+
+def agreement_confidence(
+    predictions: Dict[str, Any],
+    final_label: Any,
+    ensemble_size: Optional[int] = None,
+) -> float:
+    """Fraction of the ensemble agreeing with ``final_label``.
+
+    When ``ensemble_size`` is given (the number of models that *should* have
+    answered), missing predictions count as disagreement — this is how
+    straggler mitigation "communicates the potential loss in accuracy in its
+    confidence score".
+    """
+    if ensemble_size is None:
+        ensemble_size = len(predictions)
+    if ensemble_size <= 0:
+        return 0.0
+    agreeing = sum(1 for label in predictions.values() if label == final_label)
+    return agreeing / ensemble_size
+
+
+def normalize_weights(weights: Dict[str, float]) -> Dict[str, float]:
+    """Scale weights to sum to one (uniform if all weights are non-positive)."""
+    if not weights:
+        raise ValueError("weights must be non-empty")
+    total = sum(max(w, 0.0) for w in weights.values())
+    if total <= 0:
+        uniform = 1.0 / len(weights)
+        return {key: uniform for key in weights}
+    return {key: max(w, 0.0) / total for key, w in weights.items()}

@@ -1,0 +1,134 @@
+"""Exp3 single-model selection policy (paper §5.1).
+
+Exp3 treats model selection as an adversarial multi-armed bandit: each
+deployed model carries a weight ``s_i`` (initialised to 1); a model is
+selected with probability ``p_i = s_i / Σ s_j``; after feedback with loss
+``L(y, ŷ) ∈ [0, 1]``, the selected model's weight is updated as
+``s_i ← s_i · exp(−η · L / p_i)``.  Only one model is evaluated per query,
+so the policy has minimal computational overhead, and its regret guarantees
+ensure it converges to the single best model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import SelectionPolicyError
+from repro.core.types import ModelId
+from repro.selection.policy import SelectionPolicy, SelectionState
+
+#: Weights are clipped into this range so that a long streak of losses can
+#: never drive a weight to exactly zero (which would freeze exploration) nor
+#: overflow the exponential update.
+_MIN_WEIGHT = 1e-6
+_MAX_WEIGHT = 1e9
+
+
+class Exp3Policy(SelectionPolicy):
+    """Single-model selection with the Exp3 bandit algorithm.
+
+    Parameters
+    ----------
+    eta:
+        Learning rate η controlling how quickly recent feedback moves the
+        weights ("determines how quickly Clipper responds to recent feedback").
+    exploration:
+        Extra uniform-exploration mass γ mixed into the sampling distribution,
+        as in the original Exp3 formulation; 0 reproduces the paper's
+        plain weight-proportional sampling.
+    seed:
+        Seed for the sampling RNG (per-policy-object, not per-state).
+    """
+
+    name = "exp3"
+
+    def __init__(self, eta: float = 0.1, exploration: float = 0.05, seed: int = 0) -> None:
+        if eta <= 0:
+            raise SelectionPolicyError("eta must be positive")
+        if not 0.0 <= exploration < 1.0:
+            raise SelectionPolicyError("exploration must be in [0, 1)")
+        self.eta = eta
+        self.exploration = exploration
+        self._rng = np.random.default_rng(seed)
+
+    def init(self, model_ids: Sequence[ModelId]) -> SelectionState:
+        keys = self._model_keys(model_ids)
+        return {
+            "policy": self.name,
+            "weights": {key: 1.0 for key in keys},
+            "plays": {key: 0 for key in keys},
+            "n_feedback": 0,
+        }
+
+    def _probabilities(self, state: SelectionState) -> Tuple[List[str], np.ndarray]:
+        weights = state["weights"]
+        keys = list(weights.keys())
+        values = np.array([weights[k] for k in keys], dtype=float)
+        total = values.sum()
+        if total <= 0:
+            probs = np.full(len(keys), 1.0 / len(keys))
+        else:
+            probs = values / total
+        if self.exploration > 0:
+            probs = (1.0 - self.exploration) * probs + self.exploration / len(keys)
+        probs = probs / probs.sum()
+        return keys, probs
+
+    def select(self, state: SelectionState, x: Any) -> List[str]:
+        keys, probs = self._probabilities(state)
+        choice = self._rng.choice(len(keys), p=probs)
+        selected = keys[int(choice)]
+        state["plays"][selected] = state["plays"].get(selected, 0) + 1
+        return [selected]
+
+    def combine(
+        self, state: SelectionState, x: Any, predictions: Dict[str, Any]
+    ) -> Tuple[Any, float]:
+        if not predictions:
+            raise SelectionPolicyError("Exp3 combine called with no predictions")
+        # Exactly one model was queried; its prediction is the output.  If the
+        # straggler deadline dropped it, the caller falls back to a default.
+        model_key = next(iter(predictions))
+        return predictions[model_key], 1.0
+
+    def observe(
+        self,
+        state: SelectionState,
+        x: Any,
+        feedback: Any,
+        predictions: Dict[str, Any],
+    ) -> SelectionState:
+        keys, probs = self._probabilities(state)
+        prob_by_key = dict(zip(keys, probs))
+        for model_key, prediction in predictions.items():
+            if model_key not in state["weights"]:
+                continue
+            loss = self.loss(feedback, prediction)
+            prob = max(prob_by_key.get(model_key, 1.0 / len(keys)), 1e-6)
+            updated = state["weights"][model_key] * float(
+                np.exp(-self.eta * loss / prob)
+            )
+            state["weights"][model_key] = float(
+                np.clip(updated, _MIN_WEIGHT, _MAX_WEIGHT)
+            )
+        state["n_feedback"] = state.get("n_feedback", 0) + 1
+        self._renormalize(state)
+        return state
+
+    @staticmethod
+    def _renormalize(state: SelectionState) -> None:
+        """Rescale weights so their mean is 1, preserving ratios.
+
+        Keeps the state numerically healthy over long feedback streams
+        without changing the sampling distribution.
+        """
+        weights = state["weights"]
+        mean = sum(weights.values()) / len(weights)
+        if mean <= 0:
+            return
+        for key in weights:
+            weights[key] = float(
+                np.clip(weights[key] / mean, _MIN_WEIGHT, _MAX_WEIGHT)
+            )

@@ -1,0 +1,105 @@
+"""Exp4 ensemble selection policy (paper §5.2).
+
+Exp4 ("Exp3 with expert advice") maintains a weight per base model and
+combines *all* model predictions into a weighted vote, updating each model's
+weight from its individual prediction error.  Unlike Exp3, whose accuracy is
+bounded by the single best model, Exp4 can exceed the best base model as the
+ensemble grows.  The combine step also produces the agreement-based
+confidence score of §5.2.1, and under straggler mitigation it operates on
+whatever subset of predictions arrived by the deadline (§5.2.2), reporting
+the reduced agreement in the confidence.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.exceptions import SelectionPolicyError
+from repro.core.types import ModelId
+from repro.selection.ensemble import agreement_confidence, normalize_weights, weighted_vote
+from repro.selection.policy import SelectionPolicy, SelectionState
+
+_MIN_WEIGHT = 1e-6
+_MAX_WEIGHT = 1e9
+
+
+class Exp4Policy(SelectionPolicy):
+    """Ensemble selection with Exp4-style multiplicative weight updates.
+
+    Parameters
+    ----------
+    eta:
+        Learning rate of the multiplicative weight update.
+    count_missing_in_confidence:
+        When true (default), models selected for a query but missing from the
+        available predictions (stragglers) count against the confidence — the
+        paper defines confidence as "the fraction of models that agree on the
+        prediction" out of the deployed ensemble.
+    """
+
+    name = "exp4"
+
+    def __init__(self, eta: float = 0.2, count_missing_in_confidence: bool = True) -> None:
+        if eta <= 0:
+            raise SelectionPolicyError("eta must be positive")
+        self.eta = eta
+        self.count_missing_in_confidence = count_missing_in_confidence
+
+    def init(self, model_ids: Sequence[ModelId]) -> SelectionState:
+        keys = self._model_keys(model_ids)
+        return {
+            "policy": self.name,
+            "weights": {key: 1.0 for key in keys},
+            "n_feedback": 0,
+        }
+
+    def select(self, state: SelectionState, x: Any) -> List[str]:
+        # The ensemble policy always evaluates every deployed model.
+        return list(state["weights"].keys())
+
+    def combine(
+        self, state: SelectionState, x: Any, predictions: Dict[str, Any]
+    ) -> Tuple[Any, float]:
+        if not predictions:
+            raise SelectionPolicyError("Exp4 combine called with no predictions")
+        weights = normalize_weights(state["weights"])
+        label, _ = weighted_vote(predictions, weights)
+        ensemble_size = (
+            len(state["weights"]) if self.count_missing_in_confidence else len(predictions)
+        )
+        confidence = agreement_confidence(predictions, label, ensemble_size)
+        return label, confidence
+
+    def observe(
+        self,
+        state: SelectionState,
+        x: Any,
+        feedback: Any,
+        predictions: Dict[str, Any],
+    ) -> SelectionState:
+        for model_key in state["weights"]:
+            if model_key not in predictions:
+                # No prediction from this model for this query (straggler or
+                # cache miss on the feedback path): leave its weight unchanged.
+                continue
+            loss = self.loss(feedback, predictions[model_key])
+            updated = state["weights"][model_key] * float(np.exp(-self.eta * loss))
+            state["weights"][model_key] = float(np.clip(updated, _MIN_WEIGHT, _MAX_WEIGHT))
+        state["n_feedback"] = state.get("n_feedback", 0) + 1
+        self._renormalize(state)
+        return state
+
+    @staticmethod
+    def _renormalize(state: SelectionState) -> None:
+        weights = state["weights"]
+        mean = sum(weights.values()) / len(weights)
+        if mean <= 0:
+            return
+        for key in weights:
+            weights[key] = float(np.clip(weights[key] / mean, _MIN_WEIGHT, _MAX_WEIGHT))
+
+    def model_weights(self, state: SelectionState) -> Dict[str, float]:
+        """Normalized view of the current ensemble weights (for reporting)."""
+        return normalize_weights(state["weights"])

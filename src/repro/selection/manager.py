@@ -1,0 +1,99 @@
+"""Contextualized selection-state management (paper §5.3).
+
+The selection layer can be configured to instantiate a unique selection
+state for each user, context or session, stored in an external database
+(Redis in the paper, :class:`~repro.state.kvstore.KeyValueStore` here).  The
+:class:`SelectionStateManager` owns that mapping: it lazily initialises the
+state for a new context via the policy's ``init`` function, reads and writes
+states through the store, and exposes the observe path used when feedback
+arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.types import ModelId
+from repro.selection.policy import SelectionPolicy, SelectionState
+from repro.state.kvstore import KeyValueStore
+
+#: Context key used when a query carries no user/session id.
+DEFAULT_CONTEXT = "__global__"
+
+
+class SelectionStateManager:
+    """Per-context selection state backed by a key-value store."""
+
+    def __init__(
+        self,
+        policy: SelectionPolicy,
+        model_ids: Sequence[ModelId],
+        store: Optional[KeyValueStore] = None,
+        namespace: str = "selection-state",
+    ) -> None:
+        self.policy = policy
+        self.model_ids = list(model_ids)
+        self.store = store or KeyValueStore()
+        self.namespace = namespace
+
+    # -- state plumbing -------------------------------------------------------
+
+    def _context_key(self, context: Optional[str]) -> str:
+        return context if context else DEFAULT_CONTEXT
+
+    def get_state(self, context: Optional[str] = None) -> SelectionState:
+        """Fetch (lazily creating) the selection state for one context."""
+        key = self._context_key(context)
+        state = self.store.get(self.namespace, key)
+        if state is None:
+            state = self.policy.init(self.model_ids)
+            self.store.put(self.namespace, key, state)
+        return state
+
+    def put_state(self, state: SelectionState, context: Optional[str] = None) -> None:
+        """Persist an updated selection state for one context."""
+        self.store.put(self.namespace, self._context_key(context), state)
+
+    def contexts(self) -> List[str]:
+        """All contexts with instantiated selection state."""
+        return self.store.keys(self.namespace)
+
+    def reset(self, context: Optional[str] = None) -> None:
+        """Drop the state of one context (or every context when None)."""
+        if context is None:
+            self.store.clear(self.namespace)
+        else:
+            self.store.delete(self.namespace, self._context_key(context))
+
+    # -- policy operations ----------------------------------------------------
+
+    def select(self, x: Any, context: Optional[str] = None) -> List[str]:
+        """Choose which models to query for input ``x`` in ``context``."""
+        state = self.get_state(context)
+        selected = self.policy.select(state, x)
+        # select() may mutate bookkeeping inside the state (e.g. play counts).
+        self.put_state(state, context)
+        return selected
+
+    def combine(
+        self,
+        x: Any,
+        predictions: Dict[str, Any],
+        context: Optional[str] = None,
+    ) -> Tuple[Any, float]:
+        """Combine available predictions into (output, confidence)."""
+        state = self.get_state(context)
+        return self.policy.combine(state, x, predictions)
+
+    def observe(
+        self,
+        x: Any,
+        feedback: Any,
+        predictions: Dict[str, Any],
+        context: Optional[str] = None,
+    ) -> SelectionState:
+        """Apply feedback to the context's state and persist the result."""
+        state = self.get_state(context)
+        updated = self.policy.observe(state, x, feedback, predictions)
+        self.put_state(updated, context)
+        return updated

@@ -1,0 +1,112 @@
+"""The model selection policy interface (paper Listing 2).
+
+A selection policy is a *stateless strategy object* operating on an explicit,
+serializable state value::
+
+    interface SelectionPolicy<S, X, Y> {
+        S init();
+        List<ModelId> select(S s, X x);
+        pair<Y, double> combine(S s, X x, Map<ModelId, Y> pred);
+        S observe(S s, X x, Y feedback, Map<ModelId, Y> pred);
+    }
+
+Keeping the state external is what enables contextualization (§5.3): Clipper
+instantiates one state per user/session/context, all driven by the same
+policy object, and persists the states in an external store.
+
+In this reproduction the state is a plain dict (JSON-friendly), the query
+type ``X`` is opaque, and predictions ``Y`` are the model outputs returned by
+the containers (class labels for the classification benchmarks).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.core.exceptions import SelectionPolicyError
+from repro.core.types import ModelId
+
+#: The selection state is a plain serializable dictionary.
+SelectionState = Dict[str, Any]
+
+
+class SelectionPolicy:
+    """Base class for model selection policies.
+
+    Subclasses implement the four functions of Listing 2.  Model ids are
+    passed as strings (``"name:version"``) inside the state so that states
+    remain serializable; the ``select`` return value uses the same strings.
+    """
+
+    name = "base"
+
+    def init(self, model_ids: Sequence[ModelId]) -> SelectionState:
+        """Return the initial state for a fresh context over ``model_ids``."""
+        raise NotImplementedError
+
+    def select(self, state: SelectionState, x: Any) -> List[str]:
+        """Choose which deployed models to query for input ``x``."""
+        raise NotImplementedError
+
+    def combine(
+        self, state: SelectionState, x: Any, predictions: Dict[str, Any]
+    ) -> Tuple[Any, float]:
+        """Combine the available model predictions into (output, confidence).
+
+        ``predictions`` may contain only a subset of the selected models when
+        straggler mitigation fired; policies must handle missing entries and
+        reflect them in the confidence score (§5.2.2).
+        """
+        raise NotImplementedError
+
+    def observe(
+        self,
+        state: SelectionState,
+        x: Any,
+        feedback: Any,
+        predictions: Dict[str, Any],
+    ) -> SelectionState:
+        """Update and return the state given ground-truth feedback."""
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def _model_keys(model_ids: Sequence[ModelId]) -> List[str]:
+        keys = [str(m) for m in model_ids]
+        if not keys:
+            raise SelectionPolicyError("at least one model must be deployed")
+        if len(set(keys)) != len(keys):
+            raise SelectionPolicyError("duplicate model ids passed to selection policy")
+        return keys
+
+    @staticmethod
+    def loss(y_true: Any, y_pred: Any) -> float:
+        """Default 0/1 loss in [0, 1] used as bandit feedback."""
+        if y_pred is None:
+            return 1.0
+        return 0.0 if y_true == y_pred else 1.0
+
+
+def make_policy(name: str, **kwargs) -> SelectionPolicy:
+    """Factory mapping policy names used in :class:`ClipperConfig` to objects."""
+    from repro.selection.epsilon_greedy import EpsilonGreedyPolicy
+    from repro.selection.exp3 import Exp3Policy
+    from repro.selection.exp4 import Exp4Policy
+    from repro.selection.single import SingleModelPolicy
+    from repro.selection.thompson import ThompsonSamplingPolicy
+    from repro.selection.ucb import UCB1Policy
+
+    policies = {
+        "exp3": Exp3Policy,
+        "exp4": Exp4Policy,
+        "single": SingleModelPolicy,
+        "epsilon_greedy": EpsilonGreedyPolicy,
+        "thompson": ThompsonSamplingPolicy,
+        "ucb": UCB1Policy,
+    }
+    if name not in policies:
+        raise SelectionPolicyError(
+            f"unknown selection policy '{name}', expected one of {sorted(policies)}"
+        )
+    return policies[name](**kwargs)

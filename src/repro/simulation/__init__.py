@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate for cluster-scale experiments.
+
+The Figure 6 experiment (replicating model containers across a four-node GPU
+cluster behind 10 Gbps and 1 Gbps switches) cannot run on a single laptop,
+so it is reproduced on a discrete-event simulator: GPU replicas are servers
+with calibrated batch latency models, remote replicas share the serving
+host's NIC, and the simulation measures aggregate/mean throughput and
+latency as replicas are added — reproducing the linear scaling at 10 Gbps
+and the network saturation at 1 Gbps.
+"""
+
+from repro.simulation.events import EventSimulator
+from repro.simulation.resources import FifoResource
+from repro.simulation.latency_models import LinearBatchLatencyModel
+from repro.simulation.cluster import ClusterScalingResult, simulate_cluster_scaling
+
+__all__ = [
+    "EventSimulator",
+    "FifoResource",
+    "LinearBatchLatencyModel",
+    "ClusterScalingResult",
+    "simulate_cluster_scaling",
+]

@@ -1,0 +1,151 @@
+"""Cluster scaling simulation (Figure 6).
+
+The experiment: a Clipper host serves an expensive GPU-backed model and adds
+container replicas one machine at a time.  The first replica is local to the
+host (no network hop); additional replicas are remote, and every remote batch
+must traverse the host's NIC, whose bandwidth is shared by all remote
+replicas.  With a 10 Gbps NIC the GPUs stay the bottleneck and aggregate
+throughput scales nearly linearly (the paper measures 19.5K → 77K qps from 1
+to 4 replicas); with a 1 Gbps NIC the network saturates as soon as a second,
+remote replica is added and aggregate throughput plateaus.
+
+The simulation is closed-loop: each replica keeps a bounded number of
+batches in flight (the paper notes both systems use queueing to keep the GPU
+saturated), and we measure completed queries per simulated second plus the
+per-batch latency distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.simulation.events import EventSimulator
+from repro.simulation.latency_models import LinearBatchLatencyModel
+from repro.simulation.resources import FifoResource, Link
+
+
+@dataclass
+class ClusterScalingResult:
+    """Measurements for one (replica count, link speed) configuration."""
+
+    num_replicas: int
+    link_gbps: float
+    aggregate_throughput_qps: float
+    mean_replica_throughput_qps: float
+    mean_latency_ms: float
+    p99_latency_ms: float
+    nic_utilization: float
+    per_replica_throughput_qps: List[float] = field(default_factory=list)
+
+
+def simulate_cluster_scaling(
+    num_replicas: int,
+    link_gbps: float,
+    batch_size: int = 64,
+    input_bytes: int = 12288,
+    single_replica_qps: float = 19500.0,
+    pipeline_depth: int = 2,
+    duration_s: float = 2.0,
+    link_latency_ms: float = 0.05,
+    jitter_fraction: float = 0.05,
+    random_state: Optional[int] = 0,
+) -> ClusterScalingResult:
+    """Simulate Clipper scaling one model across a GPU cluster.
+
+    Parameters
+    ----------
+    num_replicas:
+        Total container replicas; replica 0 is local to the Clipper host,
+        the rest are remote and share the host NIC.
+    link_gbps:
+        Host NIC bandwidth (the paper compares 10 Gbps and 1 Gbps switches).
+    batch_size:
+        Hand-tuned batch size dispatched to every replica.
+    input_bytes:
+        Serialized size of one query input (the paper's CIFAR-scale inputs
+        are a few KB after serialization).
+    single_replica_qps:
+        Calibrated throughput of one local GPU replica (paper: ≈19.5K qps).
+    pipeline_depth:
+        Batches kept in flight per replica to keep the GPU busy.
+    duration_s:
+        Simulated duration.
+    """
+    if num_replicas < 1:
+        raise ValueError("num_replicas must be >= 1")
+    if pipeline_depth < 1:
+        raise ValueError("pipeline_depth must be >= 1")
+    if duration_s <= 0:
+        raise ValueError("duration_s must be positive")
+
+    sim = EventSimulator()
+    nic = Link(bandwidth_gbps=link_gbps, latency_ms=link_latency_ms, name="host-nic")
+    gpus = [FifoResource(name=f"gpu-{i}") for i in range(num_replicas)]
+    latency_model = LinearBatchLatencyModel.calibrated_for_throughput(
+        target_qps=single_replica_qps,
+        batch_size=batch_size,
+        jitter_fraction=jitter_fraction,
+        random_state=random_state,
+    )
+
+    completed_queries: List[int] = [0] * num_replicas
+    batch_latencies_ms: List[float] = []
+
+    def launch_batch(replica: int) -> None:
+        """Send one batch to ``replica`` and schedule its completion."""
+        created_at = sim.now
+        if replica == 0:
+            delivered_at = created_at  # local container: no network hop
+        else:
+            delivered_at = nic.transmit(created_at, input_bytes * batch_size)
+        service_s = latency_model.sample_latency_ms(batch_size) / 1000.0
+        completion = gpus[replica].submit(delivered_at, service_s)
+        # The response is tiny (a label per query); charge only link latency.
+        if replica != 0:
+            completion += link_latency_ms / 1000.0
+
+        def on_complete(replica=replica, created_at=created_at) -> None:
+            completed_queries[replica] += batch_size
+            batch_latencies_ms.append((sim.now - created_at) * 1000.0)
+            if sim.now < duration_s:
+                launch_batch(replica)
+
+        sim.schedule_at(completion, on_complete)
+
+    for replica in range(num_replicas):
+        for _ in range(pipeline_depth):
+            launch_batch(replica)
+
+    sim.run(until=duration_s)
+
+    per_replica_qps = [count / duration_s for count in completed_queries]
+    aggregate = float(sum(per_replica_qps))
+    latencies = np.asarray(batch_latencies_ms) if batch_latencies_ms else np.array([0.0])
+    return ClusterScalingResult(
+        num_replicas=num_replicas,
+        link_gbps=link_gbps,
+        aggregate_throughput_qps=aggregate,
+        mean_replica_throughput_qps=aggregate / num_replicas,
+        mean_latency_ms=float(latencies.mean()),
+        p99_latency_ms=float(np.percentile(latencies, 99)),
+        nic_utilization=nic.utilization(duration_s),
+        per_replica_throughput_qps=per_replica_qps,
+    )
+
+
+def sweep_cluster_scaling(
+    replica_counts=(1, 2, 3, 4),
+    link_speeds_gbps=(10.0, 1.0),
+    **kwargs,
+) -> Dict[float, List[ClusterScalingResult]]:
+    """Run the full Figure 6 sweep: replicas × link speeds."""
+    results: Dict[float, List[ClusterScalingResult]] = {}
+    for link_gbps in link_speeds_gbps:
+        results[link_gbps] = [
+            simulate_cluster_scaling(num_replicas=n, link_gbps=link_gbps, **kwargs)
+            for n in replica_counts
+        ]
+    return results

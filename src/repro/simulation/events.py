@@ -1,0 +1,61 @@
+"""A minimal discrete-event simulation engine.
+
+Events are ``(time, sequence, callback)`` triples on a heap; callbacks may
+schedule further events.  The engine exposes virtual time through ``now`` so
+simulated components never touch the wall clock, keeping runs deterministic
+and instantaneous regardless of the simulated duration.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+
+class EventSimulator:
+    """Priority-queue driven virtual-time event loop."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds of virtual time from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` at an absolute virtual time (>= now)."""
+        if time < self.now:
+            raise ValueError("cannot schedule an event in the past")
+        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events in time order until the horizon or event budget is hit.
+
+        Returns the virtual time at which the run stopped.
+        """
+        processed = 0
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            time, _, callback = heapq.heappop(self._heap)
+            self.now = time
+            callback()
+            processed += 1
+            self.events_processed += 1
+        else:
+            if until is not None:
+                self.now = max(self.now, until)
+        return self.now
+
+    def pending(self) -> int:
+        """Number of events not yet executed."""
+        return len(self._heap)

@@ -1,0 +1,73 @@
+"""Parametric batch latency models used by the simulator.
+
+The paper's Figure 3 measurements show a stable, near-linear relationship
+between batch size and evaluation latency for every model container.  The
+simulator therefore uses ``latency = base + per_item · batch_size`` with
+optional multiplicative jitter, calibrated per experiment (e.g. the Figure 6
+GPU containers are calibrated so one replica sustains ≈19.5K qps at its
+hand-tuned batch size, matching the paper's single-node measurement).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class LinearBatchLatencyModel:
+    """Latency model ``base_ms + per_item_ms * batch_size`` with jitter."""
+
+    def __init__(
+        self,
+        base_ms: float,
+        per_item_ms: float,
+        jitter_fraction: float = 0.0,
+        random_state: Optional[int] = None,
+    ) -> None:
+        if base_ms < 0 or per_item_ms < 0:
+            raise ValueError("latency parameters must be non-negative")
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise ValueError("jitter_fraction must be in [0, 1)")
+        self.base_ms = base_ms
+        self.per_item_ms = per_item_ms
+        self.jitter_fraction = jitter_fraction
+        self._rng = np.random.default_rng(random_state)
+
+    def mean_latency_ms(self, batch_size: int) -> float:
+        """Expected latency of one batch of the given size."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        return self.base_ms + self.per_item_ms * batch_size
+
+    def sample_latency_ms(self, batch_size: int) -> float:
+        """One latency draw, with multiplicative jitter when configured."""
+        mean = self.mean_latency_ms(batch_size)
+        if self.jitter_fraction == 0.0:
+            return mean
+        factor = 1.0 + self._rng.uniform(-self.jitter_fraction, self.jitter_fraction)
+        return mean * factor
+
+    def throughput_qps(self, batch_size: int) -> float:
+        """Steady-state throughput if batches of this size run back to back."""
+        return batch_size / (self.mean_latency_ms(batch_size) / 1000.0)
+
+    @staticmethod
+    def calibrated_for_throughput(
+        target_qps: float,
+        batch_size: int,
+        base_ms: float = 2.0,
+        jitter_fraction: float = 0.05,
+        random_state: Optional[int] = None,
+    ) -> "LinearBatchLatencyModel":
+        """Build a model whose back-to-back throughput at ``batch_size`` is ``target_qps``."""
+        if target_qps <= 0:
+            raise ValueError("target_qps must be positive")
+        total_ms = batch_size / target_qps * 1000.0
+        per_item_ms = max((total_ms - base_ms) / batch_size, 1e-6)
+        return LinearBatchLatencyModel(
+            base_ms=base_ms,
+            per_item_ms=per_item_ms,
+            jitter_fraction=jitter_fraction,
+            random_state=random_state,
+        )

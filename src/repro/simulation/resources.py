@@ -1,0 +1,66 @@
+"""Simulated FIFO resources (GPUs, network links).
+
+A :class:`FifoResource` serves jobs one at a time in arrival order; callers
+ask when a job submitted at time ``t`` with a given service time would
+complete, and the resource tracks its own busy horizon.  Both GPU replicas
+and shared network links are modelled this way — a link's "service time" is
+the transfer time of the message at the link bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class FifoResource:
+    """Single-server FIFO queue tracked by its next-free time."""
+
+    def __init__(self, name: str = "resource") -> None:
+        self.name = name
+        self.free_at = 0.0
+        self.busy_time = 0.0
+        self.jobs_served = 0
+
+    def submit(self, arrival_time: float, service_time: float) -> float:
+        """Enqueue a job arriving at ``arrival_time``; returns its completion time."""
+        if service_time < 0:
+            raise ValueError("service_time must be non-negative")
+        start = max(arrival_time, self.free_at)
+        completion = start + service_time
+        self.free_at = completion
+        self.busy_time += service_time
+        self.jobs_served += 1
+        return completion
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of the time up to ``horizon`` the resource was busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(self.busy_time / horizon, 1.0)
+
+
+class Link(FifoResource):
+    """A network link with a fixed bandwidth and per-message latency."""
+
+    def __init__(
+        self, bandwidth_gbps: float, latency_ms: float = 0.05, name: str = "link"
+    ) -> None:
+        super().__init__(name=name)
+        if bandwidth_gbps <= 0:
+            raise ValueError("bandwidth_gbps must be positive")
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be non-negative")
+        self.bandwidth_gbps = bandwidth_gbps
+        self.latency_ms = latency_ms
+
+    def transfer_time_s(self, num_bytes: int) -> float:
+        """Serialization time of ``num_bytes`` on this link (excluding latency)."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        bits = num_bytes * 8.0
+        return bits / (self.bandwidth_gbps * 1e9)
+
+    def transmit(self, arrival_time: float, num_bytes: int) -> float:
+        """Send a message; returns the time it is fully delivered."""
+        completion = self.submit(arrival_time, self.transfer_time_s(num_bytes))
+        return completion + self.latency_ms / 1000.0

@@ -1,0 +1,5 @@
+"""Externalized state storage (the reproduction's Redis stand-in)."""
+
+from repro.state.kvstore import KeyValueStore
+
+__all__ = ["KeyValueStore"]

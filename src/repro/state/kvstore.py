@@ -1,0 +1,149 @@
+"""In-memory key-value store with namespaces, TTLs and versioning.
+
+The paper stores per-user / per-session selection-policy state in Redis
+(§5.3).  This module provides the same role for the reproduction: a
+thread-safe in-memory store with
+
+* namespaced keys (``namespace, key`` pairs, like Redis key prefixes),
+* optional per-entry time-to-live,
+* a monotonically increasing version per entry enabling optimistic
+  concurrency (``put_if_version``), and
+* simple scan/keys operations for diagnostics.
+
+Values are stored by reference; callers that need isolation should store
+copies (the selection-state manager stores small plain dicts).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.exceptions import StateStoreError
+
+
+@dataclass
+class _Entry:
+    value: Any
+    version: int
+    expires_at: Optional[float]
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
+
+
+class KeyValueStore:
+    """Thread-safe namespaced in-memory key-value store."""
+
+    def __init__(self, clock=time.monotonic) -> None:
+        self._data: Dict[Tuple[str, str], _Entry] = {}
+        self._lock = threading.Lock()
+        self._clock = clock
+
+    # -- basic operations ----------------------------------------------------
+
+    def put(
+        self, namespace: str, key: str, value: Any, ttl_s: Optional[float] = None
+    ) -> int:
+        """Store ``value``; returns the new version number (starting at 1)."""
+        self._validate(namespace, key)
+        if ttl_s is not None and ttl_s <= 0:
+            raise StateStoreError("ttl_s must be positive when provided")
+        expires_at = None if ttl_s is None else self._clock() + ttl_s
+        with self._lock:
+            existing = self._data.get((namespace, key))
+            version = 1 if existing is None else existing.version + 1
+            self._data[(namespace, key)] = _Entry(value, version, expires_at)
+            return version
+
+    def get(self, namespace: str, key: str, default: Any = None) -> Any:
+        """Return the stored value, or ``default`` if absent or expired."""
+        self._validate(namespace, key)
+        with self._lock:
+            entry = self._data.get((namespace, key))
+            if entry is None:
+                return default
+            if entry.expired(self._clock()):
+                del self._data[(namespace, key)]
+                return default
+            return entry.value
+
+    def get_with_version(self, namespace: str, key: str) -> Tuple[Any, Optional[int]]:
+        """Return ``(value, version)``; version is ``None`` when absent."""
+        self._validate(namespace, key)
+        with self._lock:
+            entry = self._data.get((namespace, key))
+            if entry is None or entry.expired(self._clock()):
+                if entry is not None:
+                    del self._data[(namespace, key)]
+                return None, None
+            return entry.value, entry.version
+
+    def put_if_version(
+        self, namespace: str, key: str, value: Any, expected_version: Optional[int]
+    ) -> bool:
+        """Optimistic update: store only if the current version matches.
+
+        ``expected_version=None`` means "only insert if the key is absent".
+        Returns True on success.
+        """
+        self._validate(namespace, key)
+        with self._lock:
+            entry = self._data.get((namespace, key))
+            if entry is not None and entry.expired(self._clock()):
+                del self._data[(namespace, key)]
+                entry = None
+            current_version = None if entry is None else entry.version
+            if current_version != expected_version:
+                return False
+            new_version = 1 if current_version is None else current_version + 1
+            expires_at = None if entry is None else entry.expires_at
+            self._data[(namespace, key)] = _Entry(value, new_version, expires_at)
+            return True
+
+    def delete(self, namespace: str, key: str) -> bool:
+        """Remove a key; returns True when something was removed."""
+        self._validate(namespace, key)
+        with self._lock:
+            return self._data.pop((namespace, key), None) is not None
+
+    def contains(self, namespace: str, key: str) -> bool:
+        sentinel = object()
+        return self.get(namespace, key, sentinel) is not sentinel
+
+    # -- scanning --------------------------------------------------------------
+
+    def keys(self, namespace: str) -> List[str]:
+        """All live keys in one namespace."""
+        now = self._clock()
+        with self._lock:
+            expired = [k for k, e in self._data.items() if e.expired(now)]
+            for k in expired:
+                del self._data[k]
+            return sorted(key for (ns, key) in self._data if ns == namespace)
+
+    def namespaces(self) -> List[str]:
+        with self._lock:
+            return sorted({ns for (ns, _) in self._data})
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self, namespace: Optional[str] = None) -> None:
+        """Remove everything, or only one namespace's entries."""
+        with self._lock:
+            if namespace is None:
+                self._data.clear()
+            else:
+                for key in [k for k in self._data if k[0] == namespace]:
+                    del self._data[key]
+
+    @staticmethod
+    def _validate(namespace: str, key: str) -> None:
+        if not namespace or not isinstance(namespace, str):
+            raise StateStoreError("namespace must be a non-empty string")
+        if not key or not isinstance(key, str):
+            raise StateStoreError("key must be a non-empty string")

@@ -1,0 +1,21 @@
+"""Query workload generation: arrival processes, clients and feedback streams."""
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    BurstyArrivals,
+    ConstantArrivals,
+    PoissonArrivals,
+)
+from repro.workloads.clients import ClosedLoopClient, OpenLoopClient, WorkloadResult
+from repro.workloads.feedback import FeedbackStream
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "ConstantArrivals",
+    "BurstyArrivals",
+    "OpenLoopClient",
+    "ClosedLoopClient",
+    "WorkloadResult",
+    "FeedbackStream",
+]

@@ -1,0 +1,59 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_mnist_like, make_classification
+from repro.mlkit import LinearSVM, LogisticRegression
+
+
+def run_async(coroutine):
+    """Run a coroutine to completion on a fresh event loop.
+
+    pytest-asyncio is not available in this environment, so async code under
+    test is driven through this helper from synchronous test functions.
+    """
+    return asyncio.run(coroutine)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A small, easy synthetic classification dataset (fast model training)."""
+    return make_classification(
+        n_samples=400,
+        n_features=20,
+        n_classes=3,
+        difficulty=0.5,
+        name="unit-test",
+        random_state=42,
+    )
+
+
+@pytest.fixture(scope="session")
+def mnist_like_small():
+    """A reduced-dimension MNIST-like dataset for serving tests."""
+    return load_mnist_like(n_samples=600, n_features=64, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def trained_svm(mnist_like_small):
+    """A linear SVM trained on the small MNIST-like dataset."""
+    ds = mnist_like_small
+    return LinearSVM(epochs=4, random_state=0).fit(ds.X_train, ds.y_train)
+
+
+@pytest.fixture(scope="session")
+def trained_logreg(mnist_like_small):
+    """A logistic regression trained on the small MNIST-like dataset."""
+    ds = mnist_like_small
+    return LogisticRegression(epochs=4, random_state=1).fit(ds.X_train, ds.y_train)
+
+
+@pytest.fixture()
+def rng():
+    """A deterministic numpy Generator for per-test randomness."""
+    return np.random.default_rng(1234)

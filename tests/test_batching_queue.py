@@ -1,0 +1,150 @@
+"""Tests for the batching queue and delayed batching."""
+
+import asyncio
+import time
+
+import pytest
+
+from conftest import run_async
+from repro.batching.queue import BatchingQueue, PendingQuery
+
+
+def make_item(value, deadline=None):
+    loop = asyncio.get_event_loop()
+    return PendingQuery(input=value, future=loop.create_future(), deadline=deadline)
+
+
+class TestBatchingQueue:
+    def test_get_batch_drains_up_to_max(self):
+        async def scenario():
+            queue = BatchingQueue()
+            for i in range(10):
+                await queue.put(make_item(i))
+            batch = await queue.get_batch(max_batch_size=4)
+            assert [item.input for item in batch] == [0, 1, 2, 3]
+            assert queue.qsize() == 6
+
+        run_async(scenario())
+
+    def test_get_batch_returns_fewer_when_queue_short(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item("only"))
+            batch = await queue.get_batch(max_batch_size=8)
+            assert len(batch) == 1
+
+        run_async(scenario())
+
+    def test_get_batch_waits_for_first_item(self):
+        async def scenario():
+            queue = BatchingQueue()
+
+            async def producer():
+                await asyncio.sleep(0.05)
+                await queue.put(make_item("late"))
+
+            task = asyncio.get_event_loop().create_task(producer())
+            batch = await queue.get_batch(max_batch_size=4)
+            assert [item.input for item in batch] == ["late"]
+            await task
+
+        run_async(scenario())
+
+    def test_invalid_max_batch_size(self):
+        async def scenario():
+            queue = BatchingQueue()
+            with pytest.raises(ValueError):
+                await queue.get_batch(max_batch_size=0)
+
+        run_async(scenario())
+
+    def test_closed_queue_rejects_puts_and_returns_empty_batches(self):
+        async def scenario():
+            queue = BatchingQueue()
+            queue.close()
+            with pytest.raises(RuntimeError):
+                await queue.put(make_item(1))
+            batch = await queue.get_batch(max_batch_size=2, poll_interval_ms=10)
+            assert batch == []
+
+        run_async(scenario())
+
+    def test_close_still_drains_existing_items(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item(1))
+            queue.close()
+            batch = await queue.get_batch(max_batch_size=4, poll_interval_ms=10)
+            assert len(batch) == 1
+
+        run_async(scenario())
+
+
+class TestDelayedBatching:
+    def test_waits_for_more_queries_up_to_timeout(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item(0))
+
+            async def producer():
+                for i in range(1, 4):
+                    await asyncio.sleep(0.01)
+                    await queue.put(make_item(i))
+
+            task = asyncio.get_event_loop().create_task(producer())
+            batch = await queue.get_batch(max_batch_size=8, batch_wait_timeout_ms=100.0)
+            assert len(batch) == 4
+            await task
+
+        run_async(scenario())
+
+    def test_zero_timeout_dispatches_immediately(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item(0))
+            start = time.perf_counter()
+            batch = await queue.get_batch(max_batch_size=8, batch_wait_timeout_ms=0.0)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            assert len(batch) == 1
+            assert elapsed_ms < 50.0
+
+        run_async(scenario())
+
+    def test_timeout_bounds_the_wait(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item(0))
+            start = time.perf_counter()
+            batch = await queue.get_batch(max_batch_size=8, batch_wait_timeout_ms=30.0)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            assert len(batch) == 1
+            assert elapsed_ms < 200.0
+            assert elapsed_ms >= 25.0
+
+        run_async(scenario())
+
+    def test_full_batch_does_not_wait(self):
+        async def scenario():
+            queue = BatchingQueue()
+            for i in range(8):
+                await queue.put(make_item(i))
+            start = time.perf_counter()
+            batch = await queue.get_batch(max_batch_size=4, batch_wait_timeout_ms=500.0)
+            elapsed_ms = (time.perf_counter() - start) * 1000.0
+            assert len(batch) == 4
+            assert elapsed_ms < 100.0
+
+        run_async(scenario())
+
+
+class TestPendingQuery:
+    def test_expired(self):
+        async def scenario():
+            item = make_item(1, deadline=time.monotonic() - 1.0)
+            assert item.expired()
+            fresh = make_item(2, deadline=time.monotonic() + 100.0)
+            assert not fresh.expired()
+            no_deadline = make_item(3)
+            assert not no_deadline.expired()
+
+        run_async(scenario())

@@ -1,0 +1,58 @@
+"""Tests for the exact-LRU cache."""
+
+import pytest
+
+from repro.cache.lru import LRUCache
+from repro.core.exceptions import CacheError
+
+
+class TestLRUCache:
+    def test_put_get_round_trip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(CacheError):
+            LRUCache(0)
+
+    def test_evicts_least_recently_used(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # make "a" most recently used
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_update_moves_key_to_most_recent(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # update, making "a" most recent
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_keys_ordered_from_lru_to_mru(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        cache.get("a")
+        assert cache.keys() == ["b", "c", "a"]
+
+    def test_never_exceeds_capacity(self):
+        cache = LRUCache(5)
+        for i in range(50):
+            cache.put(i, i)
+        assert len(cache) == 5
+        assert set(cache.keys()) == {45, 46, 47, 48, 49}
+
+    def test_clear(self):
+        cache = LRUCache(3)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0

@@ -1,0 +1,91 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.containers.noop import NoOpContainer
+from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.exceptions import ConfigurationError
+
+
+class TestBatchingConfig:
+    def test_defaults_are_valid(self):
+        config = BatchingConfig()
+        assert config.policy == "aimd"
+        assert config.initial_batch_size == 1
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(policy="magic")
+
+    def test_rejects_nonpositive_initial_batch(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(initial_batch_size=0)
+
+    def test_rejects_bad_backoff(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(backoff_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(backoff_fraction=1.5)
+
+    def test_rejects_max_batch_below_initial(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(initial_batch_size=10, max_batch_size=5)
+
+    def test_rejects_negative_wait_timeout(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(batch_wait_timeout_ms=-1)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(quantile=1.0)
+
+    @pytest.mark.parametrize("policy", ["aimd", "quantile", "fixed", "none"])
+    def test_all_policies_accepted(self, policy):
+        assert BatchingConfig(policy=policy).policy == policy
+
+
+class TestModelDeployment:
+    def test_requires_name(self):
+        with pytest.raises(ConfigurationError):
+            ModelDeployment(name="", container_factory=NoOpContainer)
+
+    def test_requires_positive_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ModelDeployment(name="m", container_factory=NoOpContainer, num_replicas=0)
+
+    def test_defaults(self):
+        deployment = ModelDeployment(name="m", container_factory=NoOpContainer)
+        assert deployment.num_replicas == 1
+        assert deployment.version == 1
+        assert deployment.batching.policy == "aimd"
+
+
+class TestClipperConfig:
+    def test_defaults_are_valid(self):
+        config = ClipperConfig()
+        assert config.latency_slo_ms == 20.0
+        assert config.cache_eviction == "clock"
+
+    def test_rejects_nonpositive_slo(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(latency_slo_ms=0)
+
+    def test_rejects_negative_cache(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(cache_size=-1)
+
+    def test_rejects_unknown_eviction(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(cache_eviction="fifo")
+
+    def test_rejects_bad_confidence_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(confidence_threshold=1.5)
+
+    def test_rejects_bad_slo_fraction(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(slo_fraction_for_batching=0.0)
+
+    def test_batch_latency_budget_scales_with_fraction(self):
+        config = ClipperConfig(latency_slo_ms=40.0, slo_fraction_for_batching=0.5)
+        assert config.batch_latency_budget_ms == pytest.approx(20.0)

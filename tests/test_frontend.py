@@ -1,0 +1,94 @@
+"""Tests for the application-facing query frontend."""
+
+import numpy as np
+import pytest
+
+from conftest import run_async
+from repro.containers.noop import NoOpContainer
+from repro.core.clipper import Clipper
+from repro.core.config import ClipperConfig, ModelDeployment
+from repro.core.exceptions import ClipperError
+from repro.core.frontend import QueryFrontend
+
+
+def make_app(name, output=1):
+    clipper = Clipper(ClipperConfig(app_name=name, selection_policy="single"))
+    clipper.deploy_model(
+        ModelDeployment(name="noop", container_factory=lambda: NoOpContainer(output=output))
+    )
+    return clipper
+
+
+class TestRegistration:
+    def test_register_and_list_applications(self):
+        frontend = QueryFrontend()
+        frontend.register_application(make_app("vision"))
+        frontend.register_application(make_app("speech"))
+        assert frontend.applications() == ["speech", "vision"]
+
+    def test_duplicate_registration_rejected(self):
+        frontend = QueryFrontend()
+        frontend.register_application(make_app("vision"))
+        with pytest.raises(ClipperError):
+            frontend.register_application(make_app("vision"))
+
+    def test_unknown_application_rejected(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            with pytest.raises(ClipperError):
+                await frontend.predict("ghost", np.zeros(1))
+
+        run_async(scenario())
+
+
+class TestRouting:
+    def test_predict_routes_to_the_named_application(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            frontend.register_application(make_app("vision", output=10))
+            frontend.register_application(make_app("speech", output=20))
+            await frontend.start()
+            vision = await frontend.predict("vision", np.zeros(1))
+            speech = await frontend.predict("speech", np.zeros(1))
+            await frontend.stop()
+            assert vision.output == 10
+            assert speech.output == 20
+
+        run_async(scenario())
+
+    def test_update_sends_feedback(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            clipper = make_app("vision")
+            frontend.register_application(clipper)
+            await frontend.start()
+            x = np.ones(2)
+            await frontend.predict("vision", x)
+            await frontend.update("vision", x, label=1)
+            await frontend.stop()
+            return clipper.metrics.counter("feedback.count").value
+
+        assert run_async(scenario()) == 1
+
+    def test_metrics_exposed_per_application(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            frontend.register_application(make_app("vision"))
+            await frontend.start()
+            await frontend.predict("vision", np.zeros(1))
+            await frontend.stop()
+            snapshot = frontend.app_metrics("vision")
+            assert snapshot.counters["predict.count"] == 1
+
+        run_async(scenario())
+
+    def test_per_query_slo_override(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            frontend.register_application(make_app("vision"))
+            await frontend.start()
+            prediction = await frontend.predict("vision", np.zeros(1), latency_slo_ms=500.0)
+            await frontend.stop()
+            assert prediction.output == 1
+
+        run_async(scenario())

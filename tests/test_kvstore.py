@@ -1,0 +1,106 @@
+"""Tests for the in-memory key-value state store (Redis stand-in)."""
+
+import pytest
+
+from repro.core.exceptions import StateStoreError
+from repro.state.kvstore import KeyValueStore
+
+
+class TestBasicOperations:
+    def test_put_get_round_trip(self):
+        store = KeyValueStore()
+        store.put("ns", "key", {"weights": [1, 2]})
+        assert store.get("ns", "key") == {"weights": [1, 2]}
+
+    def test_get_missing_returns_default(self):
+        store = KeyValueStore()
+        assert store.get("ns", "missing") is None
+        assert store.get("ns", "missing", default=5) == 5
+
+    def test_namespaces_are_isolated(self):
+        store = KeyValueStore()
+        store.put("a", "k", 1)
+        store.put("b", "k", 2)
+        assert store.get("a", "k") == 1
+        assert store.get("b", "k") == 2
+
+    def test_delete(self):
+        store = KeyValueStore()
+        store.put("ns", "k", 1)
+        assert store.delete("ns", "k") is True
+        assert store.delete("ns", "k") is False
+        assert not store.contains("ns", "k")
+
+    def test_keys_and_namespaces(self):
+        store = KeyValueStore()
+        store.put("ns", "b", 1)
+        store.put("ns", "a", 2)
+        store.put("other", "z", 3)
+        assert store.keys("ns") == ["a", "b"]
+        assert store.namespaces() == ["ns", "other"]
+        assert store.size() == 3
+
+    def test_clear_namespace_only(self):
+        store = KeyValueStore()
+        store.put("ns", "a", 1)
+        store.put("other", "b", 2)
+        store.clear("ns")
+        assert store.keys("ns") == []
+        assert store.get("other", "b") == 2
+
+    def test_validation_errors(self):
+        store = KeyValueStore()
+        with pytest.raises(StateStoreError):
+            store.put("", "k", 1)
+        with pytest.raises(StateStoreError):
+            store.get("ns", "")
+
+
+class TestVersioning:
+    def test_versions_increment_on_put(self):
+        store = KeyValueStore()
+        assert store.put("ns", "k", 1) == 1
+        assert store.put("ns", "k", 2) == 2
+        value, version = store.get_with_version("ns", "k")
+        assert (value, version) == (2, 2)
+
+    def test_put_if_version_succeeds_on_match(self):
+        store = KeyValueStore()
+        store.put("ns", "k", 1)
+        assert store.put_if_version("ns", "k", 2, expected_version=1) is True
+        assert store.get("ns", "k") == 2
+
+    def test_put_if_version_fails_on_mismatch(self):
+        store = KeyValueStore()
+        store.put("ns", "k", 1)
+        store.put("ns", "k", 2)
+        assert store.put_if_version("ns", "k", 3, expected_version=1) is False
+        assert store.get("ns", "k") == 2
+
+    def test_put_if_version_none_means_insert_only(self):
+        store = KeyValueStore()
+        assert store.put_if_version("ns", "new", 1, expected_version=None) is True
+        assert store.put_if_version("ns", "new", 2, expected_version=None) is False
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self):
+        clock = {"now": 0.0}
+        store = KeyValueStore(clock=lambda: clock["now"])
+        store.put("ns", "k", 1, ttl_s=10.0)
+        assert store.get("ns", "k") == 1
+        clock["now"] = 11.0
+        assert store.get("ns", "k") is None
+        assert store.keys("ns") == []
+
+    def test_ttl_must_be_positive(self):
+        store = KeyValueStore()
+        with pytest.raises(StateStoreError):
+            store.put("ns", "k", 1, ttl_s=0.0)
+
+    def test_unexpired_entry_survives(self):
+        clock = {"now": 0.0}
+        store = KeyValueStore(clock=lambda: clock["now"])
+        store.put("ns", "k", 1, ttl_s=10.0)
+        clock["now"] = 5.0
+        assert store.get("ns", "k") == 1

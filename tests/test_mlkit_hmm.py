@@ -1,0 +1,98 @@
+"""Tests for the Gaussian HMM and the HMM-based utterance classifier."""
+
+import numpy as np
+import pytest
+
+from repro.mlkit.hmm import GaussianHMM, HMMPhonemeClassifier
+
+
+def make_sequences(rng, mean, n_sequences=8, length=15, n_features=4):
+    return [rng.normal(mean, 1.0, size=(length, n_features)) for _ in range(n_sequences)]
+
+
+class TestGaussianHMM:
+    def test_supervised_fit_recovers_state_means(self, rng):
+        hmm = GaussianHMM(n_states=2, n_features=3, random_state=0)
+        frames, states = [], []
+        for _ in range(10):
+            seq_states = np.array([0] * 10 + [1] * 10)
+            seq_frames = np.where(
+                seq_states[:, None] == 0,
+                rng.normal(-2.0, 0.5, size=(20, 3)),
+                rng.normal(3.0, 0.5, size=(20, 3)),
+            )
+            frames.append(seq_frames)
+            states.append(seq_states)
+        hmm.fit_supervised(frames, states)
+        assert hmm.means_[0].mean() < 0
+        assert hmm.means_[1].mean() > 0
+
+    def test_viterbi_recovers_state_sequence(self, rng):
+        hmm = GaussianHMM(n_states=2, n_features=2, random_state=0)
+        states_true = np.array([0] * 8 + [1] * 8)
+        frames = np.where(
+            states_true[:, None] == 0,
+            rng.normal(-3.0, 0.5, size=(16, 2)),
+            rng.normal(3.0, 0.5, size=(16, 2)),
+        )
+        hmm.fit_supervised([frames], [states_true])
+        decoded = hmm.viterbi(frames)
+        assert (decoded == states_true).mean() > 0.9
+
+    def test_log_likelihood_prefers_matching_sequence(self, rng):
+        hmm = GaussianHMM(n_states=2, n_features=3, random_state=0)
+        seqs = make_sequences(rng, mean=0.0, n_features=3)
+        states = [np.zeros(len(s), dtype=int) for s in seqs]
+        hmm.fit_supervised(seqs, states)
+        matching = rng.normal(0.0, 1.0, size=(15, 3))
+        far = rng.normal(8.0, 1.0, size=(15, 3))
+        assert hmm.log_likelihood(matching) > hmm.log_likelihood(far)
+
+    def test_shape_validation(self, rng):
+        hmm = GaussianHMM(n_states=2, n_features=3, random_state=0)
+        with pytest.raises(ValueError):
+            hmm.fit_supervised([rng.normal(size=(5, 3))], [np.zeros(4, dtype=int)])
+        with pytest.raises(ValueError):
+            hmm.log_likelihood(rng.normal(size=(5, 2)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            GaussianHMM(n_states=0, n_features=3)
+        with pytest.raises(ValueError):
+            GaussianHMM(n_states=2, n_features=0)
+
+
+class TestHMMPhonemeClassifier:
+    def test_classifies_well_separated_utterance_classes(self, rng):
+        sequences, labels = [], []
+        for label, mean in [(0, -2.0), (1, 2.0), (2, 6.0)]:
+            for seq in make_sequences(rng, mean, n_sequences=6):
+                sequences.append(seq)
+                labels.append(label)
+        model = HMMPhonemeClassifier(n_states=3, n_features=4, random_state=0).fit(
+            sequences, labels
+        )
+        assert model.score(sequences, labels) > 0.9
+
+    def test_predict_proba_shape_and_normalisation(self, rng):
+        sequences, labels = [], []
+        for label, mean in [(0, -2.0), (1, 2.0)]:
+            for seq in make_sequences(rng, mean, n_sequences=4):
+                sequences.append(seq)
+                labels.append(label)
+        model = HMMPhonemeClassifier(n_states=2, n_features=4, random_state=0).fit(
+            sequences, labels
+        )
+        proba = model.predict_proba(sequences[:3])
+        assert proba.shape == (3, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_requires_two_classes(self, rng):
+        sequences = make_sequences(rng, 0.0, n_sequences=4)
+        with pytest.raises(ValueError):
+            HMMPhonemeClassifier(n_features=4).fit(sequences, [0, 0, 0, 0])
+
+    def test_misaligned_inputs_raise(self, rng):
+        sequences = make_sequences(rng, 0.0, n_sequences=4)
+        with pytest.raises(ValueError):
+            HMMPhonemeClassifier(n_features=4).fit(sequences, [0, 1])

@@ -1,0 +1,131 @@
+"""Tests for mlkit metrics, preprocessing and the model zoo registry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mlkit import StandardScaler, metrics, train_test_split, zoo
+
+
+class TestMetrics:
+    def test_accuracy_and_error(self):
+        y_true = np.array([0, 1, 1, 0])
+        y_pred = np.array([0, 1, 0, 0])
+        assert metrics.accuracy(y_true, y_pred) == pytest.approx(0.75)
+        assert metrics.error_rate(y_true, y_pred) == pytest.approx(0.25)
+
+    def test_accuracy_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            metrics.accuracy([0, 1], [0])
+
+    def test_top_k_accuracy(self):
+        proba = np.array([[0.1, 0.6, 0.3], [0.5, 0.3, 0.2], [0.2, 0.3, 0.5]])
+        y_true = np.array([2, 0, 1])
+        assert metrics.top_k_accuracy(y_true, proba, k=1) == pytest.approx(1 / 3)
+        assert metrics.top_k_accuracy(y_true, proba, k=2) == pytest.approx(1.0)
+        assert metrics.top_k_error(y_true, proba, k=2) == pytest.approx(0.0)
+
+    def test_top_k_with_explicit_classes(self):
+        proba = np.array([[0.9, 0.1]])
+        assert metrics.top_k_accuracy(np.array([7]), proba, k=1, classes=[7, 9]) == 1.0
+
+    def test_zero_one_loss(self):
+        assert metrics.zero_one_loss(1, 1) == 0.0
+        assert metrics.zero_one_loss(1, 2) == 1.0
+
+    def test_confusion_matrix(self):
+        matrix = metrics.confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1], num_classes=2)
+        np.testing.assert_array_equal(matrix, [[1, 1], [0, 2]])
+        assert matrix.sum() == 4
+
+    def test_log_loss_perfect_and_bad(self):
+        proba = np.array([[0.99, 0.01], [0.01, 0.99]])
+        good = metrics.log_loss([0, 1], proba)
+        bad = metrics.log_loss([1, 0], proba)
+        assert good < bad
+
+    def test_classification_report(self):
+        report = metrics.classification_report([0, 1], [0, 0])
+        assert report["n_samples"] == 2
+        assert report["accuracy"] == pytest.approx(0.5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=50))
+    def test_accuracy_plus_error_is_one(self, labels):
+        y = np.array(labels)
+        shifted = (y + 1) % 6
+        assert metrics.accuracy(y, y) == 1.0
+        assert metrics.accuracy(y, shifted) + metrics.error_rate(y, shifted) == pytest.approx(1.0)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        np.testing.assert_allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_unscaled(self):
+        X = np.ones((10, 2))
+        X[:, 0] = np.arange(10)
+        scaled = StandardScaler().fit_transform(X)
+        assert np.all(np.isfinite(scaled))
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.ones((2, 2)))
+
+    def test_feature_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((5, 4)))
+
+
+class TestTrainTestSplit:
+    def test_sizes_and_disjointness(self):
+        X = np.arange(100).reshape(100, 1)
+        y = np.arange(100)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, test_size=0.2, random_state=0)
+        assert X_test.shape[0] == 20
+        assert X_train.shape[0] == 80
+        assert set(y_train.tolist()).isdisjoint(set(y_test.tolist()))
+
+    def test_rows_stay_aligned(self):
+        X = np.arange(50).reshape(50, 1)
+        y = np.arange(50)
+        X_train, X_test, y_train, y_test = train_test_split(X, y, random_state=1)
+        np.testing.assert_array_equal(X_train[:, 0], y_train)
+
+    def test_invalid_test_size(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(4), test_size=1.5)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.ones((4, 1)), np.ones(5))
+
+
+class TestModelZoo:
+    def test_table2_zoo_has_five_architectures(self):
+        assert len(zoo.TABLE2_ZOO) == 5
+        assert {"vgg", "googlenet", "resnet", "caffenet", "inception"} == set(zoo.TABLE2_ZOO)
+
+    def test_build_zoo_model(self):
+        model = zoo.build_zoo_model("vgg", random_state=0)
+        assert model.hidden_layers == zoo.TABLE2_ZOO["vgg"].hidden_layers
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            zoo.build_zoo_model("alexnet-9000")
+
+    def test_build_full_zoo_is_deterministic_set(self):
+        models = zoo.build_full_zoo(random_state=0)
+        assert set(models) == set(zoo.TABLE2_ZOO)
+
+    def test_figure11_models(self):
+        assert set(zoo.FIGURE11_MODELS) == {"mnist", "cifar", "imagenet"}
+        model = zoo.build_figure11_model("mnist", random_state=0)
+        assert model.hidden_layers == zoo.FIGURE11_MODELS["mnist"]["hidden_layers"]
+        with pytest.raises(KeyError):
+            zoo.build_figure11_model("cifar100")

@@ -1,0 +1,109 @@
+"""Tests for the Clipper prediction cache (paper §4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.cache.prediction_cache import PredictionCache
+from repro.core.exceptions import CacheError
+from repro.core.types import ModelId, hash_input
+
+
+class TestPredictionCacheBasics:
+    def test_request_reports_presence(self):
+        cache = PredictionCache(capacity=16)
+        x = np.ones(4)
+        assert cache.request("svm:1", x) is False
+        cache.put("svm:1", x, 7)
+        assert cache.request("svm:1", x) is True
+
+    def test_fetch_returns_cached_prediction(self):
+        cache = PredictionCache(capacity=16)
+        x = np.arange(3.0)
+        cache.put(ModelId("svm"), x, "label")
+        assert cache.fetch(ModelId("svm"), x) == "label"
+
+    def test_fetch_miss_returns_none(self):
+        cache = PredictionCache(capacity=16)
+        assert cache.fetch("svm:1", np.zeros(2)) is None
+
+    def test_entries_are_per_model(self):
+        cache = PredictionCache(capacity=16)
+        x = np.ones(4)
+        cache.put("svm:1", x, 1)
+        cache.put("forest:1", x, 2)
+        assert cache.fetch("svm:1", x) == 1
+        assert cache.fetch("forest:1", x) == 2
+
+    def test_fetch_by_hash_matches_fetch(self):
+        cache = PredictionCache(capacity=16)
+        x = np.ones(4)
+        cache.put("svm:1", x, 9)
+        assert cache.fetch_by_hash("svm:1", hash_input(x)) == 9
+
+    def test_put_by_hash(self):
+        cache = PredictionCache(capacity=16)
+        cache.put_by_hash("svm:1", "deadbeef", 3)
+        assert cache.fetch_by_hash("svm:1", "deadbeef") == 3
+
+    def test_model_id_and_string_are_equivalent_keys(self):
+        cache = PredictionCache(capacity=16)
+        x = np.ones(2)
+        cache.put(ModelId("svm", 1), x, 5)
+        assert cache.fetch("svm:1", x) == 5
+
+
+class TestPredictionCacheStats:
+    def test_hit_and_miss_counts(self):
+        cache = PredictionCache(capacity=16)
+        x = np.ones(4)
+        cache.fetch("svm:1", x)
+        cache.put("svm:1", x, 1)
+        cache.fetch("svm:1", x)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.inserts == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_with_no_lookups(self):
+        assert PredictionCache(capacity=4).stats.hit_rate == 0.0
+
+    def test_clear_resets_stats_and_contents(self):
+        cache = PredictionCache(capacity=4)
+        x = np.ones(2)
+        cache.put("m", x, 1)
+        cache.fetch("m", x)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats.lookups == 0
+
+
+class TestDisabledCache:
+    def test_zero_capacity_disables_caching(self):
+        cache = PredictionCache(capacity=0)
+        x = np.ones(3)
+        cache.put("m", x, 1)
+        assert cache.fetch("m", x) is None
+        assert not cache.enabled
+        assert len(cache) == 0
+
+    def test_invalid_eviction_rejected(self):
+        with pytest.raises(CacheError):
+            PredictionCache(capacity=4, eviction="random")
+
+
+class TestEvictionIntegration:
+    @pytest.mark.parametrize("eviction", ["clock", "lru"])
+    def test_capacity_is_respected(self, eviction):
+        cache = PredictionCache(capacity=8, eviction=eviction)
+        for i in range(64):
+            cache.put("m", np.array([float(i)]), i)
+        assert len(cache) <= 8
+
+    def test_frequent_query_stays_resident_under_churn(self):
+        cache = PredictionCache(capacity=8, eviction="clock")
+        hot = np.array([123.0])
+        cache.put("m", hot, "hot")
+        for i in range(100):
+            assert cache.fetch("m", hot) == "hot"
+            cache.put("m", np.array([float(i)]), i)
+        assert cache.fetch("m", hot) == "hot"

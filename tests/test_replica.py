@@ -1,0 +1,77 @@
+"""Tests for container replicas and replica sets."""
+
+import numpy as np
+import pytest
+
+from conftest import run_async
+from repro.containers.noop import NoOpContainer
+from repro.containers.replica import ContainerReplica, ReplicaSet
+from repro.core.exceptions import ContainerError
+from repro.core.types import ModelId
+
+
+class TestContainerReplica:
+    def test_predict_batch_round_trip(self):
+        async def scenario():
+            replica = ContainerReplica(ModelId("noop"), 0, NoOpContainer(output=1))
+            await replica.start()
+            response = await replica.predict_batch([np.zeros(2)] * 3)
+            assert response.ok
+            assert response.outputs == [1, 1, 1]
+            await replica.stop()
+
+        run_async(scenario())
+
+    def test_predict_before_start_raises(self):
+        async def scenario():
+            replica = ContainerReplica(ModelId("noop"), 0, NoOpContainer())
+            with pytest.raises(ContainerError):
+                await replica.predict_batch([np.zeros(2)])
+
+        run_async(scenario())
+
+    def test_name_includes_model_and_replica(self):
+        replica = ContainerReplica(ModelId("svm", 2), 3, NoOpContainer())
+        assert replica.name == "svm:2[3]"
+
+    def test_start_is_idempotent(self):
+        async def scenario():
+            replica = ContainerReplica(ModelId("noop"), 0, NoOpContainer())
+            await replica.start()
+            await replica.start()
+            response = await replica.predict_batch([np.zeros(1)])
+            assert response.ok
+            await replica.stop()
+
+        run_async(scenario())
+
+
+class TestReplicaSet:
+    def test_creates_requested_number_of_replicas(self):
+        replica_set = ReplicaSet(ModelId("noop"), NoOpContainer, num_replicas=3)
+        assert len(replica_set) == 3
+        assert [r.replica_id for r in replica_set] == [0, 1, 2]
+
+    def test_each_replica_gets_its_own_container(self):
+        replica_set = ReplicaSet(ModelId("noop"), NoOpContainer, num_replicas=2)
+        containers = [replica.container for replica in replica_set]
+        assert containers[0] is not containers[1]
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ContainerError):
+            ReplicaSet(ModelId("noop"), NoOpContainer, num_replicas=0)
+
+    def test_rejects_factory_returning_non_container(self):
+        with pytest.raises(ContainerError):
+            ReplicaSet(ModelId("bad"), lambda: object(), num_replicas=1)
+
+    def test_start_stop_all(self):
+        async def scenario():
+            replica_set = ReplicaSet(ModelId("noop"), NoOpContainer, num_replicas=2)
+            await replica_set.start()
+            for replica in replica_set:
+                response = await replica.predict_batch([np.zeros(1)])
+                assert response.ok
+            await replica_set.stop()
+
+        run_async(scenario())

@@ -1,0 +1,89 @@
+"""Tests for RPC message types and wire framing."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SerializationError
+from repro.rpc.protocol import (
+    MessageType,
+    RpcRequest,
+    RpcResponse,
+    decode_message,
+    encode_message,
+    message_type,
+)
+
+
+class TestRpcRequest:
+    def test_payload_round_trip(self):
+        request = RpcRequest(
+            request_id=7,
+            model_name="svm:1",
+            inputs=[np.ones(3), np.zeros(3)],
+            metadata={"priority": 1},
+        )
+        decoded = RpcRequest.from_payload(request.to_payload())
+        assert decoded.request_id == 7
+        assert decoded.model_name == "svm:1"
+        assert len(decoded.inputs) == 2
+        assert decoded.metadata == {"priority": 1}
+
+    def test_payload_type_tag(self):
+        request = RpcRequest(request_id=1, model_name="m", inputs=[1])
+        assert message_type(request.to_payload()) == MessageType.PREDICT
+
+
+class TestRpcResponse:
+    def test_ok_response(self):
+        response = RpcResponse(request_id=3, outputs=[1, 2, 3], container_latency_ms=1.5)
+        assert response.ok
+        decoded = RpcResponse.from_payload(response.to_payload())
+        assert decoded.outputs == [1, 2, 3]
+        assert decoded.container_latency_ms == pytest.approx(1.5)
+
+    def test_error_response(self):
+        response = RpcResponse(request_id=3, outputs=[], error="boom")
+        assert not response.ok
+        decoded = RpcResponse.from_payload(response.to_payload())
+        assert decoded.error == "boom"
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        payload = RpcRequest(request_id=1, model_name="m", inputs=[np.arange(4.0)]).to_payload()
+        frame = encode_message(payload)
+        decoded, rest = decode_message(frame)
+        assert rest == b""
+        assert decoded["model_name"] == "m"
+        np.testing.assert_array_equal(decoded["inputs"][0], np.arange(4.0))
+
+    def test_decode_returns_remaining_bytes(self):
+        frame1 = encode_message({"type": int(MessageType.HEARTBEAT), "request_id": 1})
+        frame2 = encode_message({"type": int(MessageType.HEARTBEAT), "request_id": 2})
+        decoded, rest = decode_message(frame1 + frame2)
+        assert decoded["request_id"] == 1
+        decoded2, rest2 = decode_message(rest)
+        assert decoded2["request_id"] == 2
+        assert rest2 == b""
+
+    def test_incomplete_header_raises(self):
+        with pytest.raises(SerializationError):
+            decode_message(b"\x01\x00")
+
+    def test_incomplete_body_raises(self):
+        frame = encode_message({"type": 3, "request_id": 1})
+        with pytest.raises(SerializationError):
+            decode_message(frame[:-1])
+
+    def test_payload_must_be_an_envelope(self):
+        from repro.rpc.serialization import serialize
+        import struct
+
+        body = serialize([1, 2, 3])
+        frame = struct.pack("<I", len(body)) + body
+        with pytest.raises(SerializationError):
+            decode_message(frame)
+
+    def test_message_type_of_invalid_payload(self):
+        with pytest.raises(SerializationError):
+            message_type({"type": 999})

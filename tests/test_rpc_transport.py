@@ -1,0 +1,108 @@
+"""Tests for the in-process and TCP RPC transports."""
+
+import numpy as np
+import pytest
+
+from conftest import run_async
+from repro.core.exceptions import RpcError
+from repro.rpc.transport import InProcessTransport, TcpListener, TcpTransport
+
+
+class TestInProcessTransport:
+    def test_round_trip_both_directions(self):
+        async def scenario():
+            pair = InProcessTransport()
+            client, server = pair.endpoints()
+            await client.send({"type": 1, "request_id": 1, "x": [1, 2, 3]})
+            received = await server.recv()
+            assert received["x"] == [1, 2, 3]
+            await server.send({"type": 2, "request_id": 1, "y": "ok"})
+            reply = await client.recv()
+            assert reply["y"] == "ok"
+
+        run_async(scenario())
+
+    def test_numpy_payload_round_trips_through_serializer(self):
+        async def scenario():
+            pair = InProcessTransport(serialize_messages=True)
+            client, server = pair.endpoints()
+            await client.send({"type": 1, "request_id": 0, "array": np.arange(5.0)})
+            received = await server.recv()
+            np.testing.assert_array_equal(received["array"], np.arange(5.0))
+
+        run_async(scenario())
+
+    def test_close_wakes_peer(self):
+        async def scenario():
+            pair = InProcessTransport()
+            client, server = pair.endpoints()
+            await client.close()
+            with pytest.raises(RpcError):
+                await server.recv()
+            assert client.closed
+
+        run_async(scenario())
+
+    def test_send_after_close_raises(self):
+        async def scenario():
+            pair = InProcessTransport()
+            client, _ = pair.endpoints()
+            await client.close()
+            with pytest.raises(RpcError):
+                await client.send({"type": 1, "request_id": 0})
+
+        run_async(scenario())
+
+    def test_unserialized_mode_passes_objects(self):
+        async def scenario():
+            pair = InProcessTransport(serialize_messages=False)
+            client, server = pair.endpoints()
+            marker = object()
+            await client.send({"type": 1, "request_id": 0, "obj": marker})
+            received = await server.recv()
+            assert received["obj"] is marker
+
+        run_async(scenario())
+
+
+class TestTcpTransport:
+    def test_round_trip_over_real_sockets(self):
+        async def scenario():
+            listener = TcpListener()
+            await listener.start()
+            client = await TcpTransport.connect("127.0.0.1", listener.port)
+            server = await listener.accept()
+            await client.send({"type": 1, "request_id": 5, "array": np.ones(8)})
+            received = await server.recv()
+            assert received["request_id"] == 5
+            np.testing.assert_array_equal(received["array"], np.ones(8))
+            await server.send({"type": 2, "request_id": 5, "outputs": [1] * 8})
+            reply = await client.recv()
+            assert reply["outputs"] == [1] * 8
+            await client.close()
+            await server.close()
+            await listener.close()
+
+        run_async(scenario())
+
+    def test_recv_after_peer_disconnect_raises(self):
+        async def scenario():
+            listener = TcpListener()
+            await listener.start()
+            client = await TcpTransport.connect("127.0.0.1", listener.port)
+            server = await listener.accept()
+            await client.close()
+            with pytest.raises(RpcError):
+                await server.recv()
+            await server.close()
+            await listener.close()
+
+        run_async(scenario())
+
+    def test_accept_before_start_raises(self):
+        async def scenario():
+            listener = TcpListener()
+            with pytest.raises(RpcError):
+                await listener.accept()
+
+        run_async(scenario())

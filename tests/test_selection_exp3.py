@@ -1,0 +1,119 @@
+"""Tests for the Exp3 single-model selection policy."""
+
+import numpy as np
+import pytest
+
+from repro.core.exceptions import SelectionPolicyError
+from repro.core.types import ModelId
+from repro.selection.exp3 import Exp3Policy
+
+MODELS = [ModelId("good"), ModelId("bad"), ModelId("mediocre")]
+
+
+class TestExp3Basics:
+    def test_init_state_has_uniform_weights(self):
+        policy = Exp3Policy(seed=0)
+        state = policy.init(MODELS)
+        assert set(state["weights"]) == {"good:1", "bad:1", "mediocre:1"}
+        assert all(w == 1.0 for w in state["weights"].values())
+
+    def test_init_rejects_empty_and_duplicate_models(self):
+        policy = Exp3Policy()
+        with pytest.raises(SelectionPolicyError):
+            policy.init([])
+        with pytest.raises(SelectionPolicyError):
+            policy.init([ModelId("a"), ModelId("a")])
+
+    def test_select_returns_single_deployed_model(self):
+        policy = Exp3Policy(seed=0)
+        state = policy.init(MODELS)
+        selected = policy.select(state, x=None)
+        assert len(selected) == 1
+        assert selected[0] in state["weights"]
+
+    def test_combine_returns_the_single_prediction(self):
+        policy = Exp3Policy(seed=0)
+        state = policy.init(MODELS)
+        output, confidence = policy.combine(state, None, {"good:1": 7})
+        assert output == 7
+        assert confidence == 1.0
+
+    def test_combine_with_no_predictions_raises(self):
+        policy = Exp3Policy(seed=0)
+        state = policy.init(MODELS)
+        with pytest.raises(SelectionPolicyError):
+            policy.combine(state, None, {})
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(SelectionPolicyError):
+            Exp3Policy(eta=0)
+        with pytest.raises(SelectionPolicyError):
+            Exp3Policy(exploration=1.0)
+
+
+class TestExp3Learning:
+    def _run_bandit(self, policy, accuracies, n_steps=2000, seed=0):
+        """Replay a bandit stream where each model is correct with its accuracy."""
+        rng = np.random.default_rng(seed)
+        state = policy.init(list(accuracies.keys()))
+        plays = {str(m): 0 for m in accuracies}
+        for _ in range(n_steps):
+            selected = policy.select(state, None)[0]
+            plays[selected] += 1
+            model_name = selected.split(":", 1)[0]
+            correct = rng.random() < accuracies[ModelId(model_name)]
+            prediction = 1 if correct else 0
+            state = policy.observe(state, None, 1, {selected: prediction})
+        return state, plays
+
+    def test_converges_to_best_model(self):
+        policy = Exp3Policy(eta=0.3, exploration=0.05, seed=1)
+        accuracies = {ModelId("good"): 0.9, ModelId("bad"): 0.4, ModelId("mediocre"): 0.6}
+        state, plays = self._run_bandit(policy, accuracies)
+        assert state["weights"]["good:1"] == max(state["weights"].values())
+        assert plays["good:1"] > plays["bad:1"]
+        assert plays["good:1"] > plays["mediocre:1"]
+
+    def test_weight_drops_after_losses(self):
+        policy = Exp3Policy(eta=0.5, seed=0)
+        state = policy.init(MODELS)
+        before = state["weights"]["good:1"]
+        state = policy.observe(state, None, 1, {"good:1": 0})  # wrong prediction
+        # After renormalisation the losing model must have the lowest weight.
+        assert state["weights"]["good:1"] < state["weights"]["bad:1"]
+
+    def test_weight_unchanged_ratio_after_correct_prediction(self):
+        policy = Exp3Policy(eta=0.5, seed=0)
+        state = policy.init(MODELS)
+        state = policy.observe(state, None, 1, {"good:1": 1})  # correct => zero loss
+        weights = state["weights"]
+        assert weights["good:1"] == pytest.approx(weights["bad:1"])
+
+    def test_weights_remain_positive_and_finite_under_adversarial_feedback(self):
+        policy = Exp3Policy(eta=1.0, exploration=0.0, seed=2)
+        state = policy.init(MODELS)
+        for _ in range(500):
+            selected = policy.select(state, None)[0]
+            state = policy.observe(state, None, 1, {selected: 0})
+        for weight in state["weights"].values():
+            assert np.isfinite(weight)
+            assert weight > 0
+
+    def test_recovers_after_model_degradation(self):
+        """Mirrors Figure 8: the best model degrades, Exp3 shifts away."""
+        policy = Exp3Policy(eta=0.4, exploration=0.1, seed=3)
+        rng = np.random.default_rng(3)
+        models = [ModelId("m1"), ModelId("m2")]
+        state = policy.init(models)
+        # Phase 1: m1 is the best.
+        for _ in range(800):
+            selected = policy.select(state, None)[0]
+            acc = 0.95 if selected == "m1:1" else 0.6
+            state = policy.observe(state, None, 1, {selected: 1 if rng.random() < acc else 0})
+        assert state["weights"]["m1:1"] > state["weights"]["m2:1"]
+        # Phase 2: m1 fails badly.
+        for _ in range(800):
+            selected = policy.select(state, None)[0]
+            acc = 0.05 if selected == "m1:1" else 0.6
+            state = policy.observe(state, None, 1, {selected: 1 if rng.random() < acc else 0})
+        assert state["weights"]["m2:1"] > state["weights"]["m1:1"]

@@ -1,0 +1,82 @@
+"""Tests for the contextualized selection-state manager (§5.3)."""
+
+import pytest
+
+from repro.core.types import ModelId
+from repro.selection.exp3 import Exp3Policy
+from repro.selection.exp4 import Exp4Policy
+from repro.selection.manager import DEFAULT_CONTEXT, SelectionStateManager
+from repro.state.kvstore import KeyValueStore
+
+MODELS = [ModelId("a"), ModelId("b")]
+
+
+class TestStateLifecycle:
+    def test_state_created_lazily_per_context(self):
+        manager = SelectionStateManager(Exp4Policy(), MODELS)
+        assert manager.contexts() == []
+        manager.get_state("user-1")
+        manager.get_state("user-2")
+        assert sorted(manager.contexts()) == ["user-1", "user-2"]
+
+    def test_default_context_used_when_none(self):
+        manager = SelectionStateManager(Exp4Policy(), MODELS)
+        manager.get_state(None)
+        assert manager.contexts() == [DEFAULT_CONTEXT]
+
+    def test_states_are_independent_across_contexts(self):
+        manager = SelectionStateManager(Exp4Policy(eta=1.0), MODELS)
+        manager.observe(None, 1, {"a:1": 0, "b:1": 1}, context="alice")
+        alice = manager.get_state("alice")
+        bob = manager.get_state("bob")
+        assert alice["weights"]["a:1"] < alice["weights"]["b:1"]
+        assert bob["weights"]["a:1"] == bob["weights"]["b:1"]
+
+    def test_reset_single_context(self):
+        manager = SelectionStateManager(Exp4Policy(eta=1.0), MODELS)
+        manager.observe(None, 1, {"a:1": 0, "b:1": 1}, context="alice")
+        manager.reset("alice")
+        fresh = manager.get_state("alice")
+        assert fresh["weights"]["a:1"] == fresh["weights"]["b:1"]
+
+    def test_reset_all_contexts(self):
+        manager = SelectionStateManager(Exp4Policy(), MODELS)
+        manager.get_state("u1")
+        manager.get_state("u2")
+        manager.reset()
+        assert manager.contexts() == []
+
+    def test_external_store_is_used(self):
+        store = KeyValueStore()
+        manager = SelectionStateManager(Exp4Policy(), MODELS, store=store)
+        manager.get_state("user-9")
+        assert store.keys("selection-state") == ["user-9"]
+
+
+class TestPolicyOperations:
+    def test_select_combine_observe_round_trip(self):
+        manager = SelectionStateManager(Exp4Policy(), MODELS)
+        selected = manager.select(x=0, context="u")
+        assert sorted(selected) == ["a:1", "b:1"]
+        output, confidence = manager.combine(0, {"a:1": 1, "b:1": 1}, context="u")
+        assert output == 1
+        assert confidence == 1.0
+        state = manager.observe(0, 1, {"a:1": 1, "b:1": 0}, context="u")
+        assert state["n_feedback"] == 1
+
+    def test_select_persists_bookkeeping_mutations(self):
+        manager = SelectionStateManager(Exp3Policy(seed=0), MODELS)
+        manager.select(x=0, context="u")
+        state = manager.get_state("u")
+        assert sum(state["plays"].values()) == 1
+
+    def test_personalization_diverges_between_users(self):
+        """Each user's feedback shapes only that user's selection state."""
+        manager = SelectionStateManager(Exp4Policy(eta=0.8), MODELS)
+        for _ in range(50):
+            manager.observe(0, 1, {"a:1": 1, "b:1": 0}, context="likes-a")
+            manager.observe(0, 1, {"a:1": 0, "b:1": 1}, context="likes-b")
+        state_a = manager.get_state("likes-a")
+        state_b = manager.get_state("likes-b")
+        assert state_a["weights"]["a:1"] > state_a["weights"]["b:1"]
+        assert state_b["weights"]["b:1"] > state_b["weights"]["a:1"]

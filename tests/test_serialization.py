@@ -1,0 +1,166 @@
+"""Tests for the binary RPC serialization format."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.exceptions import SerializationError
+from repro.rpc.serialization import deserialize, serialize
+
+
+class TestScalarRoundTrips:
+    @pytest.mark.parametrize(
+        "value",
+        [None, True, False, 0, -1, 2**40, 3.14159, -1e300, "", "héllo wörld", b"", b"\x00\xff"],
+    )
+    def test_round_trip(self, value):
+        assert deserialize(serialize(value)) == value
+
+    def test_bool_is_not_confused_with_int(self):
+        assert deserialize(serialize(True)) is True
+        assert deserialize(serialize(1)) == 1
+        assert not isinstance(deserialize(serialize(1)), bool)
+
+    def test_numpy_scalars_become_python_scalars(self):
+        assert deserialize(serialize(np.int64(7))) == 7
+        assert deserialize(serialize(np.float64(2.5))) == 2.5
+
+
+class TestContainers:
+    def test_list_round_trip(self):
+        value = [1, "a", None, 2.5, [True, b"x"]]
+        assert deserialize(serialize(value)) == value
+
+    def test_tuple_decodes_as_list(self):
+        assert deserialize(serialize((1, 2))) == [1, 2]
+
+    def test_dict_round_trip(self):
+        value = {"a": 1, "nested": {"b": [1, 2]}, "s": "text"}
+        assert deserialize(serialize(value)) == value
+
+    def test_dict_keys_must_be_strings(self):
+        with pytest.raises(SerializationError):
+            serialize({1: "a"})
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(SerializationError):
+            serialize(object())
+
+    def test_deep_nesting_rejected(self):
+        value = [0]
+        for _ in range(64):
+            value = [value]
+        with pytest.raises(SerializationError):
+            serialize(value)
+
+
+class TestNdarrays:
+    @pytest.mark.parametrize("dtype", [np.float64, np.float32, np.int64, np.int32, np.uint8, np.bool_])
+    def test_dtype_round_trip(self, dtype):
+        array = np.arange(12).astype(dtype).reshape(3, 4)
+        decoded = deserialize(serialize(array))
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        np.testing.assert_array_equal(decoded, array)
+
+    def test_empty_array(self):
+        array = np.zeros((0, 5))
+        decoded = deserialize(serialize(array))
+        assert decoded.shape == (0, 5)
+
+    def test_non_contiguous_array(self):
+        array = np.arange(20.0).reshape(4, 5)[:, ::2]
+        decoded = deserialize(serialize(array))
+        np.testing.assert_array_equal(decoded, array)
+
+    def test_object_array_rejected(self):
+        with pytest.raises(SerializationError):
+            serialize(np.array([object()]))
+
+    def test_array_inside_dict(self):
+        value = {"inputs": [np.ones(3), np.zeros(2)], "count": 2}
+        decoded = deserialize(serialize(value))
+        np.testing.assert_array_equal(decoded["inputs"][0], np.ones(3))
+        assert decoded["count"] == 2
+
+
+class TestCorruptInput:
+    def test_truncated_buffer_raises(self):
+        data = serialize({"a": np.ones(100)})
+        with pytest.raises(SerializationError):
+            deserialize(data[: len(data) // 2])
+
+    def test_trailing_garbage_raises(self):
+        data = serialize(42)
+        with pytest.raises(SerializationError):
+            deserialize(data + b"junk")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"\xfe")
+
+    def test_empty_buffer_raises(self):
+        with pytest.raises(SerializationError):
+            deserialize(b"")
+
+
+class TestPropertyBased:
+    json_like = st.recursive(
+        st.none()
+        | st.booleans()
+        | st.integers(min_value=-(2**62), max_value=2**62)
+        | st.floats(allow_nan=False, allow_infinity=True)
+        | st.text(max_size=20)
+        | st.binary(max_size=20),
+        lambda children: st.lists(children, max_size=5)
+        | st.dictionaries(st.text(max_size=8), children, max_size=5),
+        max_leaves=20,
+    )
+
+    @settings(max_examples=100, deadline=None)
+    @given(json_like)
+    def test_json_like_values_round_trip(self, value):
+        decoded = deserialize(serialize(value))
+        assert decoded == _normalize(value)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.float64,
+            shape=hnp.array_shapes(max_dims=3, max_side=8),
+            elements=st.floats(-1e6, 1e6),
+        )
+    )
+    def test_float_arrays_round_trip(self, array):
+        decoded = deserialize(serialize(array))
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        np.testing.assert_array_equal(decoded, array)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            dtype=np.int64,
+            shape=hnp.array_shapes(max_dims=2, max_side=8),
+            elements=st.integers(-(2**40), 2**40),
+        )
+    )
+    def test_int_arrays_round_trip(self, array):
+        decoded = deserialize(serialize(array))
+        assert decoded.dtype == array.dtype
+        assert decoded.shape == array.shape
+        np.testing.assert_array_equal(decoded, array)
+
+
+def _normalize(value):
+    """Tuples decode as lists; apply the same normalisation to expectations."""
+    if isinstance(value, tuple):
+        return [_normalize(v) for v in value]
+    if isinstance(value, list):
+        return [_normalize(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, bytearray):
+        return bytes(value)
+    return value

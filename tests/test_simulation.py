@@ -1,0 +1,165 @@
+"""Tests for the discrete-event simulator and the cluster-scaling experiment."""
+
+import numpy as np
+import pytest
+
+from repro.simulation.cluster import simulate_cluster_scaling, sweep_cluster_scaling
+from repro.simulation.events import EventSimulator
+from repro.simulation.latency_models import LinearBatchLatencyModel
+from repro.simulation.resources import FifoResource, Link
+
+
+class TestEventSimulator:
+    def test_events_run_in_time_order(self):
+        sim = EventSimulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.schedule(3.0, lambda: order.append("middle"))
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_now_advances_with_events(self):
+        sim = EventSimulator()
+        seen = []
+        sim.schedule(2.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [2.0]
+
+    def test_run_until_horizon_stops_early(self):
+        sim = EventSimulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        assert sim.pending() == 1
+
+    def test_callbacks_can_schedule_more_events(self):
+        sim = EventSimulator()
+        counter = {"n": 0}
+
+        def recurring():
+            counter["n"] += 1
+            if counter["n"] < 5:
+                sim.schedule(1.0, recurring)
+
+        sim.schedule(1.0, recurring)
+        sim.run()
+        assert counter["n"] == 5
+        assert sim.now == 5.0
+
+    def test_negative_delay_rejected(self):
+        sim = EventSimulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule_at(-1.0, lambda: None)
+
+    def test_max_events_budget(self):
+        sim = EventSimulator()
+        for i in range(10):
+            sim.schedule(float(i), lambda: None)
+        sim.run(max_events=3)
+        assert sim.pending() == 7
+
+
+class TestResources:
+    def test_fifo_resource_serialises_jobs(self):
+        resource = FifoResource()
+        first = resource.submit(arrival_time=0.0, service_time=2.0)
+        second = resource.submit(arrival_time=0.5, service_time=1.0)
+        assert first == 2.0
+        assert second == 3.0  # waits for the first job
+        assert resource.jobs_served == 2
+
+    def test_idle_resource_starts_immediately(self):
+        resource = FifoResource()
+        resource.submit(0.0, 1.0)
+        completion = resource.submit(5.0, 1.0)
+        assert completion == 6.0
+
+    def test_utilization(self):
+        resource = FifoResource()
+        resource.submit(0.0, 2.0)
+        assert resource.utilization(4.0) == pytest.approx(0.5)
+
+    def test_link_transfer_time_scales_with_bytes_and_bandwidth(self):
+        fast = Link(bandwidth_gbps=10.0)
+        slow = Link(bandwidth_gbps=1.0)
+        payload = 1_000_000
+        assert slow.transfer_time_s(payload) == pytest.approx(10 * fast.transfer_time_s(payload))
+
+    def test_link_transmit_includes_latency(self):
+        link = Link(bandwidth_gbps=1.0, latency_ms=1.0)
+        done = link.transmit(0.0, 125_000)  # 1 ms of serialization at 1 Gbps
+        assert done == pytest.approx(0.002, rel=1e-6)
+
+    def test_link_validation(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_gbps=0)
+        with pytest.raises(ValueError):
+            Link(bandwidth_gbps=1).transfer_time_s(-5)
+
+
+class TestLatencyModel:
+    def test_mean_latency_linear_in_batch(self):
+        model = LinearBatchLatencyModel(base_ms=2.0, per_item_ms=0.5)
+        assert model.mean_latency_ms(10) == pytest.approx(7.0)
+
+    def test_calibration_hits_target_throughput(self):
+        model = LinearBatchLatencyModel.calibrated_for_throughput(
+            target_qps=20000, batch_size=64, jitter_fraction=0.0
+        )
+        assert model.throughput_qps(64) == pytest.approx(20000, rel=1e-6)
+
+    def test_jitter_stays_within_bounds(self):
+        model = LinearBatchLatencyModel(base_ms=10.0, per_item_ms=0.0, jitter_fraction=0.1, random_state=0)
+        samples = [model.sample_latency_ms(1) for _ in range(200)]
+        assert all(9.0 <= s <= 11.0 for s in samples)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinearBatchLatencyModel(base_ms=-1, per_item_ms=0)
+        with pytest.raises(ValueError):
+            LinearBatchLatencyModel(base_ms=1, per_item_ms=0, jitter_fraction=1.0)
+        with pytest.raises(ValueError):
+            LinearBatchLatencyModel(1, 1).mean_latency_ms(0)
+
+
+class TestClusterScaling:
+    def test_single_replica_matches_calibration(self):
+        result = simulate_cluster_scaling(1, link_gbps=10.0, duration_s=0.5, random_state=0)
+        assert result.aggregate_throughput_qps == pytest.approx(19500, rel=0.1)
+
+    def test_near_linear_scaling_on_fast_network(self):
+        one = simulate_cluster_scaling(1, 10.0, duration_s=0.5, random_state=0)
+        four = simulate_cluster_scaling(4, 10.0, duration_s=0.5, random_state=0)
+        speedup = four.aggregate_throughput_qps / one.aggregate_throughput_qps
+        assert speedup > 3.5
+
+    def test_slow_network_saturates(self):
+        """The Figure 6 crossover: 1 Gbps plateaus well below linear scaling."""
+        four_fast = simulate_cluster_scaling(4, 10.0, duration_s=0.5, random_state=0)
+        four_slow = simulate_cluster_scaling(4, 1.0, duration_s=0.5, random_state=0)
+        assert four_slow.aggregate_throughput_qps < 0.6 * four_fast.aggregate_throughput_qps
+        assert four_slow.nic_utilization > 0.95
+
+    def test_slow_network_increases_latency(self):
+        fast = simulate_cluster_scaling(4, 10.0, duration_s=0.5, random_state=0)
+        slow = simulate_cluster_scaling(4, 1.0, duration_s=0.5, random_state=0)
+        assert slow.p99_latency_ms > fast.p99_latency_ms
+
+    def test_sweep_shapes(self):
+        results = sweep_cluster_scaling(replica_counts=(1, 2), link_speeds_gbps=(10.0, 1.0), duration_s=0.2)
+        assert set(results) == {10.0, 1.0}
+        assert [r.num_replicas for r in results[10.0]] == [1, 2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_cluster_scaling(0, 10.0)
+        with pytest.raises(ValueError):
+            simulate_cluster_scaling(1, 10.0, duration_s=0)
+        with pytest.raises(ValueError):
+            simulate_cluster_scaling(1, 10.0, pipeline_depth=0)
