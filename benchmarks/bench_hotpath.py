@@ -1,0 +1,41 @@
+"""Hot-path micro-benchmark: framework overhead of the serving engine.
+
+Unlike the figure benchmarks (which reproduce the paper's evaluation), this
+benchmark measures the reproduction's own serving hot path — cache-hit,
+cache-miss and ensemble scenarios through a full Clipper instance with no-op
+containers — so perf-focused PRs have a number to move.  Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s -q
+
+Set ``HOTPATH_QUICK=1`` to run 10× fewer queries (CI smoke mode).  The
+standalone ``scripts/bench_hotpath.py`` drives the same scenarios and writes
+``BENCH_hotpath.json``.
+"""
+
+from __future__ import annotations
+
+import os
+
+from conftest import record_result
+
+from repro.evaluation.hotpath import BENCH_SLO_MS, run_all
+
+QUICK = os.environ.get("HOTPATH_QUICK", "") not in ("", "0")
+
+
+def test_hotpath_scenarios():
+    results = run_all(quick=QUICK)
+    record_result(
+        "hotpath_overhead",
+        "\n".join(result.describe() for result in results),
+    )
+
+    by_name = {result.scenario: result for result in results}
+    # Sanity floors, far below what any healthy build achieves — these catch
+    # order-of-magnitude regressions (e.g. reintroducing a poll timer), not
+    # run-to-run noise.
+    assert by_name["cache_hit"].qps > 200.0
+    assert by_name["ensemble"].qps > 100.0
+    # Every scenario must comfortably meet the benchmark SLO at the median.
+    for result in results:
+        assert result.latency_ms["p50"] < BENCH_SLO_MS

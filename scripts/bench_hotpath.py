@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Measure serving hot-path throughput/latency and write ``BENCH_hotpath.json``.
+
+Runs the three scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
+cache-miss, four-model ensemble) through a full :class:`repro.core.clipper.Clipper`
+instance with no-op containers, and records p50/p99 latency and QPS per
+scenario so successive PRs have a perf trajectory to compare against.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_hotpath.py [--quick] [--output PATH]
+
+``--quick`` runs 10× fewer queries per scenario (CI smoke mode).  The JSON
+layout is::
+
+    {
+      "meta": {"timestamp": ..., "python": ..., "platform": ..., "quick": ...},
+      "scenarios": {
+        "cache_hit": {"qps": ..., "p50_ms": ..., "p99_ms": ..., ...},
+        "cache_miss": {...},
+        "ensemble": {...}
+      }
+    }
+
+Interpretation: ``qps`` is end-to-end queries/second through ``predict``;
+``p50_ms``/``p99_ms`` are per-query latencies measured at the caller.  The
+cache-hit and ensemble scenarios are the pure-framework numbers a perf PR
+must not regress; cache-miss additionally includes batching/RPC costs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.evaluation.hotpath import run_all  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="run 10x fewer queries (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPO_ROOT / "BENCH_hotpath.json",
+        help="where to write the JSON report (default: repo-root/BENCH_hotpath.json)",
+    )
+    args = parser.parse_args()
+
+    results = run_all(quick=args.quick)
+
+    scenarios = {}
+    for result in results:
+        lat = result.latency_ms
+        scenarios[result.scenario] = {
+            "num_queries": result.num_queries,
+            "elapsed_s": round(result.elapsed_s, 4),
+            "qps": round(result.qps, 1),
+            "mean_ms": round(lat["mean"], 4),
+            "p50_ms": round(lat["p50"], 4),
+            "p95_ms": round(lat["p95"], 4),
+            "p99_ms": round(lat["p99"], 4),
+            "max_ms": round(lat["max"], 4),
+        }
+        print(result.describe())
+
+    report = {
+        "meta": {
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "quick": args.quick,
+        },
+        "scenarios": scenarios,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

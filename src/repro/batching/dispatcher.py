@@ -46,18 +46,30 @@ class ReplicaDispatcher:
         self.batch_history: List[BatchStats] = []
         self._task: Optional[asyncio.Task] = None
         self._running = False
+        # Metric handles are resolved once per dispatcher instead of per
+        # batch: the registry lookup rebuilds the f-string name and takes a
+        # lock on every call, which adds up at high batch rates.
+        prefix = f"model.{replica.model_id}"
+        self._batch_latency_hist = self.metrics.histogram(f"{prefix}.batch_latency_ms")
+        self._batch_size_hist = self.metrics.histogram(f"{prefix}.batch_size")
+        self._throughput_meter = self.metrics.meter(f"{prefix}.throughput")
 
     def start(self) -> asyncio.Task:
         """Start the dispatch loop as a background task."""
         if self._task is None or self._task.done():
             self._running = True
-            self._task = asyncio.get_event_loop().create_task(self._run())
+            self._task = asyncio.get_running_loop().create_task(self._run())
         return self._task
 
     async def stop(self) -> None:
         """Stop the dispatch loop after the in-flight batch completes."""
         self._running = False
         if self._task is not None:
+            # Wake the loop if it is parked waiting for work (or topping up
+            # a delayed batch) so shutdown is prompt; other dispatchers
+            # sharing the queue see an empty or partial batch and simply
+            # dispatch it / re-enter their wait.
+            self.queue.wake_all()
             try:
                 await asyncio.wait_for(self._task, timeout=5.0)
             except asyncio.TimeoutError:
@@ -115,10 +127,9 @@ class ReplicaDispatcher:
             queue_time_ms=queue_time_ms,
         )
         self.batch_history.append(stats)
-        prefix = f"model.{self.replica.model_id}"
-        self.metrics.histogram(f"{prefix}.batch_latency_ms").observe(latency_ms)
-        self.metrics.histogram(f"{prefix}.batch_size").observe(len(batch))
-        self.metrics.meter(f"{prefix}.throughput").mark(len(batch))
+        self._batch_latency_hist.observe(latency_ms)
+        self._batch_size_hist.observe(len(batch))
+        self._throughput_meter.mark(len(batch))
 
         if not response.ok:
             self._fail_batch(

@@ -6,25 +6,50 @@ maximum batch size.  The queue supports the delayed-batching behaviour of
 §4.3.2: when fewer queries than the target batch are waiting, the dispatcher
 may wait up to ``batch_wait_timeout_ms`` for more to arrive before sending a
 smaller batch.
+
+Event-driven design
+-------------------
+The queue is a plain deque plus waiter futures — no poll timers.  A consumer
+blocked in :meth:`BatchingQueue.get_batch` parks a future on the queue;
+:meth:`put` wakes exactly one waiter per enqueued item and :meth:`close`
+wakes everyone, so dispatchers react to new work and to shutdown immediately
+instead of on the next 50 ms poll tick.  During delayed batching a single
+``loop.call_later`` deadline timer bounds the whole wait — the previous
+implementation allocated one ``asyncio.wait_for`` timer per additional item.
+
+:meth:`get_batch` may return an empty batch when the queue is closed *or*
+when the consumer was woken without work being available for it (another
+consumer drained the item first, or :meth:`wake_all` was called for a prompt
+dispatcher shutdown); callers treat an empty batch as "re-check state and
+wait again".
 """
 
 from __future__ import annotations
 
 import asyncio
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, Deque, List, Optional
 
 
 @dataclass
 class PendingQuery:
-    """One query waiting in a batching queue."""
+    """One query waiting in a batching queue.
+
+    ``input_hash`` carries the query's content hash, computed once by the
+    serving engine, so any batch-layer consumer that needs the cache key
+    (e.g. deduplicating identical in-flight queries) can read it instead of
+    re-hashing the input.  The engine's own cache inserts and straggler
+    callbacks reuse the same precomputed digest on the ``Clipper`` side.
+    """
 
     input: Any
     future: asyncio.Future
     enqueue_time: float = field(default_factory=time.monotonic)
     deadline: Optional[float] = None
     query_id: Optional[int] = None
+    input_hash: Optional[str] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the query's deadline has already passed."""
@@ -34,89 +59,195 @@ class PendingQuery:
 
 
 class BatchingQueue:
-    """FIFO of pending queries with async batch draining."""
+    """FIFO of pending queries with event-driven async batch draining."""
 
     def __init__(self, name: str = "queue", maxsize: int = 0) -> None:
         self.name = name
-        self._queue: "asyncio.Queue[PendingQuery]" = asyncio.Queue(maxsize=maxsize)
+        self.maxsize = maxsize
+        self._items: Deque[PendingQuery] = deque()
+        self._getters: Deque[asyncio.Future] = deque()
+        self._putters: Deque[asyncio.Future] = deque()
         self._closed = False
+        # Bumped by wake_all(); a delayed-batching wait gives up (returning
+        # its partial batch) when it observes a new generation, so dispatcher
+        # shutdown interrupts the wait instead of riding out the timer.
+        self._wake_generation = 0
 
     def qsize(self) -> int:
-        return self._queue.qsize()
+        return len(self._items)
 
     @property
     def closed(self) -> bool:
         return self._closed
 
+    # -- producer side ---------------------------------------------------------
+
     async def put(self, item: PendingQuery) -> None:
-        """Enqueue one pending query."""
-        if self._closed:
-            raise RuntimeError(f"batching queue '{self.name}' is closed")
-        await self._queue.put(item)
+        """Enqueue one pending query, waiting for space on a bounded queue."""
+        if self.maxsize > 0:
+            while len(self._items) >= self.maxsize and not self._closed:
+                waiter = asyncio.get_running_loop().create_future()
+                self._putters.append(waiter)
+                try:
+                    await waiter
+                except asyncio.CancelledError:
+                    # If this producer absorbed a freed-slot wake-up it can no
+                    # longer use, pass it on so no other producer is stranded.
+                    if waiter.done() and len(self._items) < self.maxsize:
+                        self._wake_next(self._putters)
+                    raise
+                finally:
+                    self._discard_waiter(self._putters, waiter)
+        self.put_nowait(item)
+        if self.maxsize > 0 and len(self._items) < self.maxsize:
+            self._wake_next(self._putters)
 
     def put_nowait(self, item: PendingQuery) -> None:
         if self._closed:
             raise RuntimeError(f"batching queue '{self.name}' is closed")
-        self._queue.put_nowait(item)
+        if self.maxsize > 0 and len(self._items) >= self.maxsize:
+            raise asyncio.QueueFull(f"batching queue '{self.name}' is full")
+        self._items.append(item)
+        self._wake_next(self._getters)
+
+    # -- consumer side ---------------------------------------------------------
 
     async def get_batch(
         self,
         max_batch_size: int,
         batch_wait_timeout_ms: float = 0.0,
-        poll_interval_ms: float = 50.0,
+        poll_interval_ms: Optional[float] = None,
     ) -> List[PendingQuery]:
         """Wait for work and return a batch of at most ``max_batch_size`` queries.
 
-        Blocks until at least one query is available (or the queue closes, in
-        which case an empty list is returned).  If the queue holds fewer than
-        ``max_batch_size`` queries and a positive ``batch_wait_timeout_ms`` is
-        configured, the call waits up to that long for additional queries —
-        the delayed-batching mechanism of §4.3.2 — before returning whatever
-        has arrived.
+        Blocks until at least one query is available or the queue closes.  An
+        empty list means "nothing for this consumer right now" — either the
+        queue closed, or the consumer was woken spuriously (see module
+        docstring) — and the caller should re-check state before retrying.
+
+        If the queue holds fewer than ``max_batch_size`` queries and a
+        positive ``batch_wait_timeout_ms`` is configured, the call waits up
+        to that long for additional queries — the delayed-batching mechanism
+        of §4.3.2 — before returning whatever has arrived.  A single deadline
+        timer covers the whole delayed wait.
+
+        ``poll_interval_ms`` is accepted for backwards compatibility and
+        ignored: the queue is event-driven and no longer polls.
         """
         if max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
 
-        first = await self._get_first(poll_interval_ms)
-        if first is None:
-            return []
-        batch = [first]
-        self._drain_into(batch, max_batch_size)
+        if not self._items:
+            if self._closed:
+                return []
+            waiter = asyncio.get_running_loop().create_future()
+            self._getters.append(waiter)
+            try:
+                await waiter
+            except asyncio.CancelledError:
+                # If this consumer absorbed a wake-up it can no longer use,
+                # pass it on so the item is not stranded.
+                if waiter.done() and self._items:
+                    self._wake_next(self._getters)
+                raise
+            finally:
+                self._discard_waiter(self._getters, waiter)
 
-        if len(batch) < max_batch_size and batch_wait_timeout_ms > 0:
-            deadline = time.monotonic() + batch_wait_timeout_ms / 1000.0
-            while len(batch) < max_batch_size:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                try:
-                    item = await asyncio.wait_for(self._queue.get(), timeout=remaining)
-                except asyncio.TimeoutError:
-                    break
-                batch.append(item)
-                self._drain_into(batch, max_batch_size)
+        batch: List[PendingQuery] = []
+        self._drain_into(batch, max_batch_size)
+        if not batch:
+            return batch
+        if len(batch) < max_batch_size and batch_wait_timeout_ms > 0 and not self._closed:
+            await self._fill_delayed(batch, max_batch_size, batch_wait_timeout_ms)
         return batch
 
-    async def _get_first(self, poll_interval_ms: float) -> Optional[PendingQuery]:
-        """Block for the first query, waking periodically to notice closure."""
-        while True:
-            if self._closed and self._queue.empty():
-                return None
-            try:
-                return await asyncio.wait_for(
-                    self._queue.get(), timeout=poll_interval_ms / 1000.0
-                )
-            except asyncio.TimeoutError:
-                continue
+    async def _fill_delayed(
+        self, batch: List[PendingQuery], max_batch_size: int, batch_wait_timeout_ms: float
+    ) -> None:
+        """Top up ``batch`` until full, the deadline passes, or the queue closes."""
+        loop = asyncio.get_running_loop()
+        expired = False
+        waiter: Optional[asyncio.Future] = None
+
+        def _on_deadline() -> None:
+            nonlocal expired
+            expired = True
+            if waiter is not None and not waiter.done():
+                waiter.set_result(None)
+
+        generation = self._wake_generation
+        timer = loop.call_later(batch_wait_timeout_ms / 1000.0, _on_deadline)
+        try:
+            while (
+                len(batch) < max_batch_size
+                and not expired
+                and not self._closed
+                and self._wake_generation == generation
+            ):
+                waiter = loop.create_future()
+                self._getters.append(waiter)
+                try:
+                    await waiter
+                except asyncio.CancelledError:
+                    # If this consumer absorbed a wake-up it can no longer
+                    # use, pass it on so the item is not stranded.
+                    if waiter.done() and self._items:
+                        self._wake_next(self._getters)
+                    raise
+                finally:
+                    self._discard_waiter(self._getters, waiter)
+                    waiter = None
+                self._drain_into(batch, max_batch_size)
+        finally:
+            timer.cancel()
 
     def _drain_into(self, batch: List[PendingQuery], max_batch_size: int) -> None:
         """Move already-queued items into ``batch`` without waiting."""
-        while len(batch) < max_batch_size:
-            try:
-                batch.append(self._queue.get_nowait())
-            except asyncio.QueueEmpty:
+        items = self._items
+        while len(batch) < max_batch_size and items:
+            batch.append(items.popleft())
+        if self._putters and (self.maxsize == 0 or len(items) < self.maxsize):
+            self._wake_next(self._putters)
+
+    # -- wake-up plumbing ------------------------------------------------------
+
+    @staticmethod
+    def _wake_next(waiters: Deque[asyncio.Future]) -> None:
+        while waiters:
+            waiter = waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
                 return
 
+    @staticmethod
+    def _discard_waiter(waiters: Deque[asyncio.Future], waiter: asyncio.Future) -> None:
+        try:
+            waiters.remove(waiter)
+        except ValueError:
+            pass
+
+    def wake_all(self) -> None:
+        """Wake every blocked consumer (used for prompt dispatcher shutdown).
+
+        Consumers parked waiting for a first item return an empty batch;
+        consumers in a delayed-batching wait return their partial batch
+        immediately instead of riding out the deadline timer.
+        """
+        self._wake_generation += 1
+        while self._getters:
+            waiter = self._getters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+
     def close(self) -> None:
-        """Mark the queue closed; dispatchers drain remaining items then stop."""
+        """Mark the queue closed; dispatchers drain remaining items then stop.
+
+        Wakes every blocked producer and consumer immediately — consumers see
+        an empty batch (or the remaining items) and exit, producers raise.
+        """
         self._closed = True
+        self.wake_all()
+        while self._putters:
+            waiter = self._putters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)

@@ -13,13 +13,25 @@ The cache memoises the generic prediction function
   the selection layer needs the predictions each model made for that input.
   A cache hit avoids re-evaluating every model in the ensemble, which is the
   source of the paper's 1.6× feedback-throughput improvement.
+
+Hot-path API
+------------
+The serving engine hashes each query input **once** (via
+:meth:`repro.core.types.Query.input_hash`) and talks to the cache through the
+by-hash entry points — :meth:`PredictionCache.fetch_by_hash` and
+:meth:`PredictionCache.put_by_hash` — so an ensemble of *N* models costs one
+hash plus *N* dict probes instead of *N* (or 2·*N*, counting inserts) hash
+passes.  :meth:`fetch` and :meth:`put` remain as conveniences that hash and
+delegate.  The internal lock is held only around the underlying cache
+structure's get/put and the stats update; key construction and hashing happen
+outside it.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
 
 from repro.cache.clock import ClockCache
 from repro.cache.lru import LRUCache
@@ -27,6 +39,9 @@ from repro.core.exceptions import CacheError
 from repro.core.types import ModelId, hash_input
 
 CacheKey = Tuple[str, str]
+
+#: Shared miss sentinel — allocated once instead of per lookup.
+_MISSING = object()
 
 
 @dataclass
@@ -96,52 +111,45 @@ class PredictionCache:
         return self.fetch(model_id, x) is not None
 
     def fetch(self, model_id: Union[ModelId, str], x: Any) -> Optional[Any]:
-        """Return the cached prediction or ``None``; counts a hit or miss."""
+        """Return the cached prediction or ``None``; counts a hit or miss.
+
+        Hashes ``x`` and delegates to :meth:`fetch_by_hash`; callers that
+        issue several lookups for one input should hash once themselves.
+        """
         if self._cache is None:
             with self._lock:
                 self.stats.misses += 1
             return None
-        key = self.make_key(model_id, x)
-        with self._lock:
-            sentinel = object()
-            value = self._cache.get(key, sentinel)
-            if value is sentinel:
-                self.stats.misses += 1
-                return None
-            self.stats.hits += 1
-            return value
+        return self.fetch_by_hash(model_id, hash_input(x))
 
     def fetch_by_hash(self, model_id: Union[ModelId, str], input_hash: str) -> Optional[Any]:
-        """Fetch using a precomputed input hash (used on the feedback path)."""
+        """Fetch using a precomputed input hash (the hot-path entry point)."""
         if self._cache is None:
             with self._lock:
                 self.stats.misses += 1
             return None
         key = (str(model_id), input_hash)
         with self._lock:
-            sentinel = object()
-            value = self._cache.get(key, sentinel)
-            if value is sentinel:
+            value = self._cache.get(key, _MISSING)
+            if value is _MISSING:
                 self.stats.misses += 1
                 return None
             self.stats.hits += 1
             return value
 
     def put(self, model_id: Union[ModelId, str], x: Any, y: Any) -> None:
-        """Insert a model prediction for an input."""
+        """Insert a model prediction for an input (hashes ``x`` first)."""
         if self._cache is None:
             return
-        key = self.make_key(model_id, x)
-        with self._lock:
-            self._cache.put(key, y)
-            self.stats.inserts += 1
+        self.put_by_hash(model_id, hash_input(x), y)
 
     def put_by_hash(self, model_id: Union[ModelId, str], input_hash: str, y: Any) -> None:
-        """Insert using a precomputed input hash."""
+        """Insert using a precomputed input hash (the hot-path entry point)."""
         if self._cache is None:
             return
+        key = (str(model_id), input_hash)
         with self._lock:
-            self._cache.put((str(model_id), input_hash), y)
+            self._cache.put(key, y)
             self.stats.inserts += 1
 
     def __len__(self) -> int:

@@ -86,6 +86,17 @@ class Clipper:
         self._selection: Optional[SelectionStateManager] = None
         self._started = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Metric handles are resolved once here instead of per call: registry
+        # lookups take a lock and a dict probe, which is measurable on the
+        # cache-hit path that does no other work.
+        self._latency_hist = self.metrics.histogram("predict.latency_ms")
+        self._throughput_meter = self.metrics.meter("predict.throughput")
+        self._predict_counter = self.metrics.counter("predict.count")
+        self._default_counter = self.metrics.counter("predict.defaults")
+        self._straggler_counter = self.metrics.counter("predict.stragglers")
+        self._container_error_counter = self.metrics.counter("predict.container_errors")
+        self._feedback_counter = self.metrics.counter("feedback.count")
+        self._feedback_meter = self.metrics.meter("feedback.throughput")
 
     # -- deployment -----------------------------------------------------------
 
@@ -203,23 +214,28 @@ class Clipper:
         slo_ms = query.latency_slo_ms or self.config.latency_slo_ms
         deadline = start + slo_ms / 1000.0
 
+        # The input is hashed exactly once per query; the digest is reused
+        # for every per-model cache fetch/insert, carried by the pending
+        # queue items, and used by the straggler late-completion callback.
+        input_hash = query.input_hash()
         selected = self.selection_manager.select(query.input, context=query.user_id)
         pending: Dict[str, asyncio.Future] = {}
         predictions: Dict[str, Any] = {}
         cache_hits = 0
         for model_key in selected:
-            cached = self.cache.fetch(model_key, query.input)
+            cached = self.cache.fetch_by_hash(model_key, input_hash)
             if cached is not None:
                 predictions[model_key] = cached
                 cache_hits += 1
                 continue
-            future = await self._submit(model_key, query, deadline)
+            future = await self._submit(model_key, query, deadline, input_hash)
             pending[model_key] = future
 
-        arrived = await self._await_predictions(pending, query, deadline)
-        for model_key, output in arrived.items():
-            self.cache.put(model_key, query.input, output)
-            predictions[model_key] = output
+        if pending:
+            arrived = await self._await_predictions(pending, input_hash, deadline)
+            for model_key, output in arrived.items():
+                self.cache.put_by_hash(model_key, input_hash, output)
+                predictions[model_key] = output
 
         latency_ms = (time.monotonic() - start) * 1000.0
         missing = tuple(key for key in selected if key not in predictions)
@@ -255,17 +271,22 @@ class Clipper:
         )
 
     async def _submit(
-        self, model_key: str, query: Query, deadline: Optional[float]
+        self,
+        model_key: str,
+        query: Query,
+        deadline: Optional[float],
+        input_hash: Optional[str] = None,
     ) -> asyncio.Future:
         record = self._models.get(model_key)
         if record is None:
             raise DeploymentError(f"selection policy chose unknown model '{model_key}'")
-        future: asyncio.Future = asyncio.get_event_loop().create_future()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
         item = PendingQuery(
             input=query.input,
             future=future,
             deadline=deadline if self.config.straggler_mitigation else None,
             query_id=query.query_id,
+            input_hash=input_hash,
         )
         await record.queue.put(item)
         return future
@@ -273,7 +294,7 @@ class Clipper:
     async def _await_predictions(
         self,
         pending: Dict[str, asyncio.Future],
-        query: Query,
+        input_hash: str,
         deadline: float,
     ) -> Dict[str, Any]:
         """Wait for model responses, respecting the straggler deadline."""
@@ -290,22 +311,22 @@ class Clipper:
             if future in done and not future.cancelled() and future.exception() is None:
                 results[model_key] = future.result()
             elif future in done and future.exception() is not None:
-                self.metrics.counter("predict.container_errors").increment()
+                self._container_error_counter.increment()
         # Late (straggler) predictions are not returned to the application, but
         # when they do complete their results still populate the cache so the
         # feedback path can join against them.
         for model_key, future in pending.items():
             if future in not_done:
-                self.metrics.counter("predict.stragglers").increment()
+                self._straggler_counter.increment()
                 future.add_done_callback(
-                    self._make_late_completion_callback(model_key, query.input)
+                    self._make_late_completion_callback(model_key, input_hash)
                 )
         return results
 
-    def _make_late_completion_callback(self, model_key: str, query_input: Any):
+    def _make_late_completion_callback(self, model_key: str, input_hash: str):
         def _on_done(future: asyncio.Future) -> None:
             if not future.cancelled() and future.exception() is None:
-                self.cache.put(model_key, query_input, future.result())
+                self.cache.put_by_hash(model_key, input_hash, future.result())
 
         return _on_done
 
@@ -320,11 +341,15 @@ class Clipper:
         default_used: bool,
         from_cache: bool,
     ) -> Prediction:
-        self.metrics.histogram("predict.latency_ms").observe(latency_ms)
-        self.metrics.meter("predict.throughput").mark()
-        self.metrics.counter("predict.count").increment()
+        self._latency_hist.observe(latency_ms)
+        self._throughput_meter.mark()
+        self._predict_counter.increment()
         if default_used:
-            self.metrics.counter("predict.defaults").increment()
+            self._default_counter.increment()
+        if missing:
+            models_used = tuple(key for key in selected if key not in missing)
+        else:
+            models_used = tuple(selected)
         return Prediction(
             query_id=query.query_id,
             app_name=query.app_name,
@@ -332,7 +357,7 @@ class Clipper:
             confidence=confidence,
             latency_ms=latency_ms,
             default_used=default_used,
-            models_used=tuple(key for key in selected if key not in missing),
+            models_used=models_used,
             models_missing=missing,
             from_cache=from_cache,
         )
@@ -349,27 +374,30 @@ class Clipper:
         """
         if not self._started:
             raise ClipperError("Clipper is not started")
+        input_hash = feedback.input_hash()
         predictions: Dict[str, Any] = {}
         pending: Dict[str, asyncio.Future] = {}
         for model_key in self._models:
-            cached = self.cache.fetch(model_key, feedback.input)
+            cached = self.cache.fetch_by_hash(model_key, input_hash)
             if cached is not None:
                 predictions[model_key] = cached
             else:
                 query = Query(app_name=feedback.app_name, input=feedback.input)
-                pending[model_key] = await self._submit(model_key, query, deadline=None)
+                pending[model_key] = await self._submit(
+                    model_key, query, deadline=None, input_hash=input_hash
+                )
         if pending:
             await asyncio.wait(list(pending.values()))
             for model_key, future in pending.items():
                 if future.exception() is None:
                     output = future.result()
                     predictions[model_key] = output
-                    self.cache.put(model_key, feedback.input, output)
+                    self.cache.put_by_hash(model_key, input_hash, output)
         self.selection_manager.observe(
             feedback.input, feedback.label, predictions, context=feedback.user_id
         )
-        self.metrics.counter("feedback.count").increment()
-        self.metrics.meter("feedback.throughput").mark()
+        self._feedback_counter.increment()
+        self._feedback_meter.mark()
 
     # -- synchronous conveniences ----------------------------------------------
 

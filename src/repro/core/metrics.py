@@ -165,8 +165,18 @@ class MetricsRegistry:
         self._histograms: Dict[str, Histogram] = {}
         self._lock = threading.Lock()
 
+    # The getters take a lock-free fast path for already-registered names:
+    # dict reads are atomic under the GIL and metrics are never removed, so
+    # the lock is only needed to serialise first-time creation.  Hot-path
+    # callers should still resolve handles once and reuse them (as
+    # ``Clipper`` and ``ReplicaDispatcher`` do) rather than looking up by
+    # name per observation.
+
     def counter(self, name: str) -> Counter:
         """Return (creating if needed) the counter with ``name``."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter
         with self._lock:
             if name not in self._counters:
                 self._counters[name] = Counter(name)
@@ -174,6 +184,9 @@ class MetricsRegistry:
 
     def meter(self, name: str) -> Meter:
         """Return (creating if needed) the meter with ``name``."""
+        meter = self._meters.get(name)
+        if meter is not None:
+            return meter
         with self._lock:
             if name not in self._meters:
                 self._meters[name] = Meter(name)
@@ -181,6 +194,9 @@ class MetricsRegistry:
 
     def histogram(self, name: str, window_size: int = 16384) -> Histogram:
         """Return (creating if needed) the histogram with ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is not None:
+            return histogram
         with self._lock:
             if name not in self._histograms:
                 self._histograms[name] = Histogram(name, window_size)

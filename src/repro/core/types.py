@@ -50,18 +50,41 @@ class ModelId:
         return ModelId(text, 1)
 
 
+#: Memoised ``str(dtype).encode()`` per dtype.  Rendering a numpy dtype as a
+#: string walks numpy's type hierarchy and dominates the hashing cost for
+#: small arrays; the set of dtypes seen by a serving process is tiny.
+_DTYPE_TOKENS: Dict[Any, bytes] = {}
+
+
+def _dtype_token(dtype: Any) -> bytes:
+    token = _DTYPE_TOKENS.get(dtype)
+    if token is None:
+        token = str(dtype).encode()
+        _DTYPE_TOKENS[dtype] = token
+    return token
+
+
 def hash_input(x: Any) -> str:
     """Return a stable content hash of a query input.
 
     Numpy arrays are hashed over their raw bytes together with shape and
     dtype; other values fall back to ``repr``.  The hash is used as the
     prediction-cache key so it must be deterministic across processes.
+
+    This sits on the serving hot path — :meth:`Query.input_hash` is computed
+    once per query and reused for every per-model cache lookup — so the
+    array branch avoids the two hidden costs of the naive implementation:
+    the dtype string is memoised and C-contiguous arrays are hashed through
+    their buffer without a ``tobytes`` copy.
     """
     hasher = hashlib.sha1()
     if isinstance(x, np.ndarray):
         hasher.update(str(x.shape).encode())
-        hasher.update(str(x.dtype).encode())
-        hasher.update(np.ascontiguousarray(x).tobytes())
+        hasher.update(_dtype_token(x.dtype))
+        if x.flags.c_contiguous:
+            hasher.update(x.data)
+        else:
+            hasher.update(np.ascontiguousarray(x).tobytes())
     elif isinstance(x, (bytes, bytearray)):
         hasher.update(bytes(x))
     elif isinstance(x, str):
@@ -99,10 +122,20 @@ class Query:
     query_id: int = field(default_factory=next_query_id)
     arrival_time: float = field(default_factory=time.monotonic)
     metadata: Dict[str, Any] = field(default_factory=dict)
+    _input_hash: Optional[str] = field(default=None, init=False, repr=False, compare=False)
 
     def input_hash(self) -> str:
-        """Content hash of the query input, used for prediction caching."""
-        return hash_input(self.input)
+        """Content hash of the query input, used for prediction caching.
+
+        Computed lazily on first call and memoised: the serving engine hashes
+        each query exactly once and reuses the digest for every per-model
+        cache fetch, insert and straggler late-completion.  The input must
+        not be mutated after the first call.
+        """
+        digest = self._input_hash
+        if digest is None:
+            digest = self._input_hash = hash_input(self.input)
+        return digest
 
 
 @dataclass
@@ -136,10 +169,17 @@ class Feedback:
     user_id: Optional[str] = None
     query_id: Optional[int] = None
     timestamp: float = field(default_factory=time.monotonic)
+    _input_hash: Optional[str] = field(default=None, init=False, repr=False, compare=False)
 
     def input_hash(self) -> str:
-        """Content hash of the feedback input, used to join with cached predictions."""
-        return hash_input(self.input)
+        """Content hash of the feedback input, used to join with cached predictions.
+
+        Memoised like :meth:`Query.input_hash`; computed at most once.
+        """
+        digest = self._input_hash
+        if digest is None:
+            digest = self._input_hash = hash_input(self.input)
+        return digest
 
 
 @dataclass

@@ -1,0 +1,195 @@
+"""Hot-path micro-benchmark scenarios for the serving engine.
+
+The paper's headline numbers are latency and throughput *of the serving
+system itself* — the prediction cache (§4.2), adaptive batching (§4.3) and
+the selection layer add overhead to every query, and that overhead is what
+this module measures.  Model computation is removed from the picture by
+serving :class:`~repro.containers.noop.NoOpContainer` replicas, so the
+scenarios isolate the framework cost per query:
+
+``cache_hit``
+    One model, one repeated input.  After a warm-up query every prediction
+    is served straight from the prediction cache — the fastest possible
+    path through the engine.
+``cache_miss``
+    One model, every input unique.  Each query misses the cache and flows
+    through the batching queue, a dispatcher and the container RPC.
+``ensemble``
+    Four models behind the Exp4 ensemble policy, one repeated input.  Every
+    query fans out to all models; after warm-up each fan-out is a cache
+    hit, so the scenario stresses per-model bookkeeping (hashing, cache
+    lookups, metrics) multiplied by the ensemble width.
+
+Each scenario returns a :class:`HotpathResult` with QPS and the latency
+distribution, consumed by ``benchmarks/bench_hotpath.py`` (pytest) and
+``scripts/bench_hotpath.py`` (writes ``BENCH_hotpath.json``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.containers.noop import NoOpContainer
+from repro.core.clipper import Clipper
+from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.metrics import summarize_latencies, throughput_qps
+from repro.core.types import Query
+
+#: Input dimensionality used by every scenario (MNIST-sized feature vector,
+#: large enough that input hashing is a measurable part of the per-query cost).
+INPUT_FEATURES = 784
+
+#: Generous SLO so the benchmark measures steady-state cost, not timeouts.
+BENCH_SLO_MS = 500.0
+
+
+@dataclass
+class HotpathResult:
+    """Throughput and latency summary for one hot-path scenario."""
+
+    scenario: str
+    num_queries: int
+    elapsed_s: float
+    qps: float
+    latency_ms: Dict[str, float] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        lat = self.latency_ms
+        return (
+            f"{self.scenario:>10}: {self.qps:9.0f} qps  "
+            f"p50={lat.get('p50', float('nan')):7.3f} ms  "
+            f"p99={lat.get('p99', float('nan')):7.3f} ms  "
+            f"({self.num_queries} queries in {self.elapsed_s:.2f} s)"
+        )
+
+
+def _noop_deployment(name: str) -> ModelDeployment:
+    return ModelDeployment(
+        name=name,
+        container_factory=lambda: NoOpContainer(output=1),
+        batching=BatchingConfig(policy="aimd", initial_batch_size=4),
+        serialize_rpc=False,
+    )
+
+
+def _single_model_clipper() -> Clipper:
+    clipper = Clipper(
+        ClipperConfig(
+            app_name="hotpath",
+            latency_slo_ms=BENCH_SLO_MS,
+            selection_policy="single",
+        )
+    )
+    clipper.deploy_model(_noop_deployment("noop"))
+    return clipper
+
+
+def _ensemble_clipper(width: int = 4) -> Clipper:
+    clipper = Clipper(
+        ClipperConfig(
+            app_name="hotpath",
+            latency_slo_ms=BENCH_SLO_MS,
+            selection_policy="exp4",
+        )
+    )
+    for i in range(width):
+        clipper.deploy_model(_noop_deployment(f"noop-{i}"))
+    return clipper
+
+
+async def _drive(
+    clipper: Clipper,
+    queries: List[Query],
+    concurrency: int,
+) -> "tuple[float, List[float]]":
+    """Issue ``queries`` and return (elapsed seconds, per-query latencies ms)."""
+    latencies: List[float] = []
+
+    async def issue(query: Query) -> None:
+        t0 = time.perf_counter()
+        await clipper.predict(query)
+        latencies.append((time.perf_counter() - t0) * 1000.0)
+
+    start = time.perf_counter()
+    if concurrency <= 1:
+        for query in queries:
+            await issue(query)
+    else:
+        for offset in range(0, len(queries), concurrency):
+            window = queries[offset : offset + concurrency]
+            await asyncio.gather(*(issue(q) for q in window))
+    return time.perf_counter() - start, latencies
+
+
+def _result(scenario: str, elapsed: float, latencies: List[float]) -> HotpathResult:
+    return HotpathResult(
+        scenario=scenario,
+        num_queries=len(latencies),
+        elapsed_s=elapsed,
+        qps=throughput_qps(len(latencies), elapsed),
+        latency_ms=summarize_latencies(latencies),
+    )
+
+
+async def run_cache_hit(num_queries: int = 5000) -> HotpathResult:
+    """One model, one repeated input: pure prediction-cache hits."""
+    clipper = _single_model_clipper()
+    await clipper.start()
+    try:
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(INPUT_FEATURES)
+        # Warm the cache so the timed loop never leaves the fast path.
+        await clipper.predict(Query(app_name="hotpath", input=x))
+        queries = [Query(app_name="hotpath", input=x) for _ in range(num_queries)]
+        elapsed, latencies = await _drive(clipper, queries, concurrency=1)
+    finally:
+        await clipper.stop()
+    return _result("cache_hit", elapsed, latencies)
+
+
+async def run_cache_miss(num_queries: int = 2000, concurrency: int = 32) -> HotpathResult:
+    """One model, unique inputs: every query crosses the batching layer."""
+    clipper = _single_model_clipper()
+    await clipper.start()
+    try:
+        rng = np.random.default_rng(1)
+        inputs = rng.standard_normal((num_queries, INPUT_FEATURES))
+        queries = [Query(app_name="hotpath", input=inputs[i]) for i in range(num_queries)]
+        elapsed, latencies = await _drive(clipper, queries, concurrency=concurrency)
+    finally:
+        await clipper.stop()
+    return _result("cache_miss", elapsed, latencies)
+
+
+async def run_ensemble(num_queries: int = 3000, width: int = 4) -> HotpathResult:
+    """Four-model ensemble, repeated input: per-model bookkeeping × width."""
+    clipper = _ensemble_clipper(width=width)
+    await clipper.start()
+    try:
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(INPUT_FEATURES)
+        await clipper.predict(Query(app_name="hotpath", input=x))
+        queries = [Query(app_name="hotpath", input=x) for _ in range(num_queries)]
+        elapsed, latencies = await _drive(clipper, queries, concurrency=1)
+    finally:
+        await clipper.stop()
+    return _result("ensemble", elapsed, latencies)
+
+
+def run_all(quick: bool = False) -> List[HotpathResult]:
+    """Run every scenario (scaled down in ``quick`` mode) and return results."""
+    scale = 10 if quick else 1
+
+    async def _run() -> List[HotpathResult]:
+        return [
+            await run_cache_hit(num_queries=5000 // scale),
+            await run_cache_miss(num_queries=2000 // scale),
+            await run_ensemble(num_queries=3000 // scale),
+        ]
+
+    return asyncio.run(_run())

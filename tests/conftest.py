@@ -1,23 +1,17 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Plain helpers (``run_async``) live in :mod:`helpers` so test modules can
+import them without relying on conftest module-name resolution.
+"""
 
 from __future__ import annotations
-
-import asyncio
 
 import numpy as np
 import pytest
 
+from helpers import run_async  # noqa: F401  (re-exported for convenience)
 from repro.datasets import load_mnist_like, make_classification
 from repro.mlkit import LinearSVM, LogisticRegression
-
-
-def run_async(coroutine):
-    """Run a coroutine to completion on a fresh event loop.
-
-    pytest-asyncio is not available in this environment, so async code under
-    test is driven through this helper from synchronous test functions.
-    """
-    return asyncio.run(coroutine)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,21 @@
+"""Importable helpers shared across test modules.
+
+Test files import :func:`run_async` from here (``from helpers import
+run_async``) rather than from ``conftest`` — conftest modules are loaded by
+pytest under a single shared module name, so importing them directly breaks
+when another rootdir conftest (e.g. ``benchmarks/conftest.py``) is imported
+first.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+
+def run_async(coroutine):
+    """Run a coroutine to completion on a fresh event loop.
+
+    pytest-asyncio is not available in this environment, so async code under
+    test is driven through this helper from synchronous test functions.
+    """
+    return asyncio.run(coroutine)

@@ -5,7 +5,7 @@ import asyncio
 import numpy as np
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.baselines.selection import ABTestingSelection, StaticSelection
 from repro.baselines.tfserving import TFServingLikeServer
 from repro.containers.base import FunctionContainer, ModelContainer

@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.batching.queue import BatchingQueue, PendingQuery
 
 

@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.containers.adapters import ClassifierContainer
 from repro.containers.noop import NoOpContainer
 from repro.containers.overhead import SimulatedLatencyContainer

@@ -6,7 +6,7 @@ import time
 import numpy as np
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.batching.aimd import AIMDController
 from repro.batching.controllers import FixedBatchSizeController
 from repro.batching.dispatcher import ReplicaDispatcher

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.containers.noop import NoOpContainer
 from repro.core.clipper import Clipper
 from repro.core.config import ClipperConfig, ModelDeployment

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.containers.noop import NoOpContainer
 from repro.containers.replica import ContainerReplica, ReplicaSet
 from repro.core.exceptions import ContainerError

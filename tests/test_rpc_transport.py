@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from conftest import run_async
+from helpers import run_async
 from repro.core.exceptions import RpcError
 from repro.rpc.transport import InProcessTransport, TcpListener, TcpTransport
 
