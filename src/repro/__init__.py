@@ -28,6 +28,9 @@ and get a working serving system.  Sub-packages:
     Model selection policies: Exp3, Exp4, ensembles, contextualization (§5).
 ``repro.state``
     In-memory key-value store used for externalized selection state.
+``repro.management``
+    The management plane: versioned model registry, live rollout/rollback,
+    runtime replica scaling and health-driven replica recovery.
 ``repro.mlkit``
     A from-scratch numpy machine-learning framework standing in for
     Scikit-Learn / Spark MLlib / Caffe / TensorFlow / HTK.
@@ -45,6 +48,7 @@ from repro.core.clipper import Clipper
 from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
 from repro.core.types import Feedback, Prediction, Query
 from repro.containers.base import ModelContainer
+from repro.management.frontend import ManagementFrontend
 from repro.selection.policy import SelectionPolicy
 
 __version__ = "1.0.0"
@@ -54,6 +58,7 @@ __all__ = [
     "ClipperConfig",
     "BatchingConfig",
     "ModelDeployment",
+    "ManagementFrontend",
     "Query",
     "Prediction",
     "Feedback",

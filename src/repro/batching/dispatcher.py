@@ -9,6 +9,16 @@ batching is performed independently per replica).  The loop is:
 3. Send the batch over RPC to the container, measure the evaluation latency.
 4. Feed the (size, latency) observation back into the controller and resolve
    each query's future with its output.
+
+Dispatchers are detachable: :meth:`ReplicaDispatcher.stop` leaves the shared
+queue live (queued queries stay put for the model's other replicas) and a
+stopped dispatcher can be re-started, which is how the management plane
+scales replicas and quarantines/recovers unhealthy ones at runtime.  When a
+replica fails a batch, queries are re-enqueued onto the shared queue (up to
+``max_retries`` per query) so a single sick replica does not fail queries
+that a healthy sibling could still serve; after a failed batch the loop
+backs off briefly (``failure_cooldown_ms``) so a dead replica does not spin
+stealing work from healthy ones while the health monitor converges.
 """
 
 from __future__ import annotations
@@ -36,6 +46,8 @@ class ReplicaDispatcher:
         batch_wait_timeout_ms: float = 0.0,
         metrics: Optional[MetricsRegistry] = None,
         drop_expired: bool = True,
+        max_retries: int = 0,
+        failure_cooldown_ms: float = 20.0,
     ) -> None:
         self.replica = replica
         self.queue = queue
@@ -43,7 +55,13 @@ class ReplicaDispatcher:
         self.batch_wait_timeout_ms = batch_wait_timeout_ms
         self.metrics = metrics or MetricsRegistry()
         self.drop_expired = drop_expired
+        self.max_retries = max_retries
+        self.failure_cooldown_ms = failure_cooldown_ms
         self.batch_history: List[BatchStats] = []
+        #: Failed batches since the last success — read by the health
+        #: monitor as a passive unhealthiness signal alongside its probes.
+        self.consecutive_failures = 0
+        self.batches_failed = 0
         self._task: Optional[asyncio.Task] = None
         self._running = False
         # Metric handles are resolved once per dispatcher instead of per
@@ -90,7 +108,17 @@ class ReplicaDispatcher:
             )
             if not batch:
                 continue
+            failures_before = self.consecutive_failures
             await self.dispatch_batch(batch)
+            if (
+                self._running
+                and self.consecutive_failures > failures_before
+                and self.failure_cooldown_ms > 0
+            ):
+                # Back off after a failed batch: re-enqueued queries go to
+                # healthy siblings first instead of being re-stolen by this
+                # (likely dead) replica in a tight loop.
+                await asyncio.sleep(self.failure_cooldown_ms / 1000.0)
 
     async def dispatch_batch(self, batch: List[PendingQuery]) -> None:
         """Evaluate one batch on the replica and resolve its futures."""
@@ -114,7 +142,7 @@ class ReplicaDispatcher:
         try:
             response = await self.replica.predict_batch(inputs)
         except (RpcError, ContainerError) as exc:
-            self._fail_batch(batch, exc)
+            self._handle_failed_batch(batch, exc)
             return
         latency_ms = (time.perf_counter() - start) * 1000.0
 
@@ -132,16 +160,27 @@ class ReplicaDispatcher:
         self._throughput_meter.mark(len(batch))
 
         if not response.ok:
-            self._fail_batch(
+            self._handle_failed_batch(
                 batch, ContainerError(str(self.replica.model_id), response.error or "unknown")
             )
             return
+        self.consecutive_failures = 0
         for item, output in zip(batch, response.outputs):
             if not item.future.done():
                 item.future.set_result(output)
 
-    @staticmethod
-    def _fail_batch(batch: List[PendingQuery], error: Exception) -> None:
+    def _handle_failed_batch(self, batch: List[PendingQuery], error: Exception) -> None:
+        """Requeue failed queries with retry budget left; fail the rest."""
+        self.consecutive_failures += 1
+        self.batches_failed += 1
         for item in batch:
-            if not item.future.done():
-                item.future.set_exception(error)
+            if item.future.done():
+                continue
+            if item.attempts < self.max_retries and not self.queue.closed:
+                item.attempts += 1
+                try:
+                    self.queue.put_nowait(item)
+                    continue
+                except (RuntimeError, asyncio.QueueFull):
+                    pass  # queue closed or full under our feet: fall through
+            item.future.set_exception(error)

@@ -50,6 +50,10 @@ class PendingQuery:
     deadline: Optional[float] = None
     query_id: Optional[int] = None
     input_hash: Optional[str] = None
+    #: Number of times this query has been re-enqueued after a replica
+    #: failure; the dispatcher fails the future once its retry budget is
+    #: exhausted.
+    attempts: int = 0
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the query's deadline has already passed."""
@@ -67,6 +71,7 @@ class BatchingQueue:
         self._items: Deque[PendingQuery] = deque()
         self._getters: Deque[asyncio.Future] = deque()
         self._putters: Deque[asyncio.Future] = deque()
+        self._empty_waiters: Deque[asyncio.Future] = deque()
         self._closed = False
         # Bumped by wake_all(); a delayed-batching wait gives up (returning
         # its partial batch) when it observes a new generation, so dispatcher
@@ -208,6 +213,38 @@ class BatchingQueue:
             batch.append(items.popleft())
         if self._putters and (self.maxsize == 0 or len(items) < self.maxsize):
             self._wake_next(self._putters)
+        if not items and self._empty_waiters:
+            while self._empty_waiters:
+                waiter = self._empty_waiters.popleft()
+                if not waiter.done():
+                    waiter.set_result(None)
+
+    async def wait_empty(self, timeout_s: Optional[float] = None) -> bool:
+        """Wait (event-driven) until consumers have drained every item.
+
+        Returns True once the queue is empty, or False on timeout.  Used by
+        the management plane to let a model's own dispatchers finish the
+        queued work before teardown — "empty" means handed to a dispatcher,
+        not yet necessarily resolved, so callers still stop the dispatchers
+        (which await their in-flight batch) afterwards.
+        """
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while self._items:
+            remaining = None if deadline is None else deadline - time.monotonic()
+            if remaining is not None and remaining <= 0:
+                return False
+            waiter = asyncio.get_running_loop().create_future()
+            self._empty_waiters.append(waiter)
+            try:
+                if remaining is None:
+                    await waiter
+                else:
+                    await asyncio.wait_for(waiter, timeout=remaining)
+            except asyncio.TimeoutError:
+                return False
+            finally:
+                self._discard_waiter(self._empty_waiters, waiter)
+        return True
 
     # -- wake-up plumbing ------------------------------------------------------
 

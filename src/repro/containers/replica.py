@@ -81,13 +81,36 @@ class ContainerReplica:
         response = await self.client.predict(str(self.model_id), list(inputs))
         return response
 
+    async def check_health(self, timeout_s: Optional[float] = None) -> bool:
+        """Probe the replica over RPC; True only for a healthy response.
+
+        A replica that is not started, does not answer within ``timeout_s``,
+        or whose container reports itself unhealthy all probe False.
+        """
+        if not self._started:
+            return False
+        try:
+            return await self.client.heartbeat(timeout_s=timeout_s)
+        except RpcError:
+            return False
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
     @property
     def name(self) -> str:
         return f"{self.model_id}[{self.replica_id}]"
 
 
 class ReplicaSet:
-    """All replicas of one deployed model."""
+    """All replicas of one deployed model.
+
+    Membership is dynamic: the management plane adds and removes replicas on
+    a live set (`add_replica` / `remove_replica`) for runtime scaling, and
+    replaces a sick replica in place (`replace_replica`) when health-driven
+    recovery restarts it with a fresh container from the stored factory.
+    """
 
     def __init__(
         self,
@@ -100,24 +123,70 @@ class ReplicaSet:
         if num_replicas < 1:
             raise ContainerError(str(model_id), "num_replicas must be >= 1")
         self.model_id = model_id
+        self._container_factory = container_factory
+        self._use_executor = use_executor
+        self._serialize_messages = serialize_messages
+        self._next_replica_id = 0
         self.replicas: List[ContainerReplica] = []
-        for replica_id in range(num_replicas):
-            container = container_factory()
-            if not isinstance(container, ModelContainer):
-                raise ContainerError(
-                    str(model_id),
-                    f"container factory returned {type(container).__name__}, "
-                    "expected a ModelContainer",
-                )
-            self.replicas.append(
-                ContainerReplica(
-                    model_id=model_id,
-                    replica_id=replica_id,
-                    container=container,
-                    use_executor=use_executor,
-                    serialize_messages=serialize_messages,
-                )
+        for _ in range(num_replicas):
+            self.add_replica()
+
+    def _build_replica(self, replica_id: int) -> ContainerReplica:
+        container = self._container_factory()
+        if not isinstance(container, ModelContainer):
+            raise ContainerError(
+                str(self.model_id),
+                f"container factory returned {type(container).__name__}, "
+                "expected a ModelContainer",
             )
+        return ContainerReplica(
+            model_id=self.model_id,
+            replica_id=replica_id,
+            container=container,
+            use_executor=self._use_executor,
+            serialize_messages=self._serialize_messages,
+        )
+
+    def add_replica(self) -> ContainerReplica:
+        """Create (but do not start) one more replica and return it.
+
+        Replica ids increase monotonically across the set's lifetime so a
+        restarted or newly added replica is never confused with a removed
+        one in metrics or health records.
+        """
+        replica = self._build_replica(self._next_replica_id)
+        self._next_replica_id += 1
+        self.replicas.append(replica)
+        return replica
+
+    def remove_replica(self, replica: ContainerReplica) -> None:
+        """Remove a replica from the set (the caller stops it)."""
+        if len(self.replicas) <= 1:
+            raise ContainerError(str(self.model_id), "cannot remove the last replica")
+        try:
+            self.replicas.remove(replica)
+        except ValueError:
+            raise ContainerError(
+                str(self.model_id), f"{replica.name} is not a member of this replica set"
+            ) from None
+
+    async def replace_replica(self, replica: ContainerReplica) -> ContainerReplica:
+        """Swap a (presumed sick) replica for a fresh one with the same id.
+
+        The old replica is stopped and a new container is built from the
+        stored factory.  The replacement is returned unstarted so the caller
+        can start and health-check it before routing traffic to it.
+        """
+        try:
+            index = self.replicas.index(replica)
+        except ValueError:
+            raise ContainerError(
+                str(self.model_id), f"{replica.name} is not a member of this replica set"
+            ) from None
+        fresh = self._build_replica(replica.replica_id)
+        await replica.stop()
+        self.replicas[index] = fresh
+        return fresh
 
     async def start(self) -> None:
         for replica in self.replicas:

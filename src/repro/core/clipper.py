@@ -22,6 +22,19 @@ The public surface is intentionally small::
 
 Synchronous convenience wrappers (``predict_sync`` etc.) run the coroutine
 on a private event loop for scripts and tests that are not async.
+
+Runtime mutability (the management plane's half of the paper's architecture)
+is layered on top without touching the hot path: every deployed *version* of
+a model keeps its own serving machinery (replica set, batching queue,
+dispatchers), and an **active-version map** decides which version of each
+model name receives traffic.  ``deploy_model`` works on a running instance
+(a second version of an existing name comes up *staged* — warm but not
+serving), ``rollout``/``rollback`` atomically swap the active version,
+``set_num_replicas`` grows or shrinks a live replica set while the shared
+batching queue keeps in-flight queries, and ``undeploy_model`` drains a
+version's queue before tearing it down.  Selection-policy state is
+namespaced by the serving set, so the state learned for a version survives
+its retirement and is picked up again on rollback.
 """
 
 from __future__ import annotations
@@ -49,7 +62,7 @@ from repro.state.kvstore import KeyValueStore
 
 
 class _DeployedModel:
-    """Internal record of one deployed model and its serving machinery."""
+    """Internal record of one deployed model version and its serving machinery."""
 
     def __init__(
         self,
@@ -67,6 +80,13 @@ class _DeployedModel:
     def model_id(self) -> ModelId:
         return self.replica_set.model_id
 
+    def dispatcher_for(self, replica) -> Optional[ReplicaDispatcher]:
+        """The dispatcher currently draining the queue into ``replica``."""
+        for dispatcher in self.dispatchers:
+            if dispatcher.replica is replica:
+                return dispatcher
+        return None
+
 
 class Clipper:
     """A Clipper serving instance for one application."""
@@ -83,6 +103,13 @@ class Clipper:
         )
         self.state_store = state_store or KeyValueStore()
         self._models: Dict[str, _DeployedModel] = {}
+        # Which version of each model name serves traffic ("svm" -> "svm:2"),
+        # in deployment order, and the previously-active version kept for
+        # rollback.  Versions deployed while another is active stay staged
+        # (machinery warm, no traffic) until rollout.
+        self._active: Dict[str, str] = {}
+        self._previous: Dict[str, str] = {}
+        self._admin_lock = asyncio.Lock()
         self._selection: Optional[SelectionStateManager] = None
         self._started = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
@@ -97,16 +124,14 @@ class Clipper:
         self._container_error_counter = self.metrics.counter("predict.container_errors")
         self._feedback_counter = self.metrics.counter("feedback.count")
         self._feedback_meter = self.metrics.meter("feedback.throughput")
+        self._unavailable_counter = self.metrics.counter("predict.unavailable_models")
 
     # -- deployment -----------------------------------------------------------
 
-    def deploy_model(self, deployment: ModelDeployment) -> ModelId:
-        """Register a model behind the model abstraction layer.
-
-        May be called before or after :meth:`start`; models deployed after
-        start are brought up immediately.  Returns the assigned
-        :class:`ModelId`.
-        """
+    def _register_model(
+        self, deployment: ModelDeployment, activate: Optional[bool]
+    ) -> _DeployedModel:
+        """Build the serving machinery for one model version (not started)."""
         model_id = ModelId(deployment.name, deployment.version)
         key = str(model_id)
         if key in self._models:
@@ -119,24 +144,50 @@ class Clipper:
             serialize_messages=deployment.serialize_rpc,
         )
         queue = BatchingQueue(name=key)
-        dispatchers = []
-        for replica in replica_set:
-            controller = make_controller(
-                deployment.batching, slo_ms=self.config.batch_latency_budget_ms
-            )
-            dispatchers.append(
-                ReplicaDispatcher(
-                    replica=replica,
-                    queue=queue,
-                    controller=controller,
-                    batch_wait_timeout_ms=deployment.batching.batch_wait_timeout_ms,
-                    metrics=self.metrics,
-                )
-            )
-        record = _DeployedModel(deployment, replica_set, queue, dispatchers)
+        record = _DeployedModel(deployment, replica_set, queue, [])
+        record.dispatchers = [
+            self._make_dispatcher(record, replica) for replica in replica_set
+        ]
         self._models[key] = record
-        # Selection state must be rebuilt to include the new model.
-        self._selection = None
+        if activate is None:
+            # Default: the first version of a name serves immediately; later
+            # versions come up staged and wait for an explicit rollout.
+            activate = deployment.name not in self._active
+        if activate:
+            previous = self._active.get(deployment.name)
+            if previous is not None:
+                self._previous[deployment.name] = previous
+            self._active[deployment.name] = key
+            self._rebuild_selection()
+        return record
+
+    def _make_dispatcher(
+        self, record: _DeployedModel, replica
+    ) -> ReplicaDispatcher:
+        controller = make_controller(
+            record.deployment.batching, slo_ms=self.config.batch_latency_budget_ms
+        )
+        return ReplicaDispatcher(
+            replica=replica,
+            queue=record.queue,
+            controller=controller,
+            batch_wait_timeout_ms=record.deployment.batching.batch_wait_timeout_ms,
+            metrics=self.metrics,
+            max_retries=record.deployment.max_batch_retries,
+        )
+
+    def deploy_model(
+        self, deployment: ModelDeployment, activate: Optional[bool] = None
+    ) -> ModelId:
+        """Register a model version behind the model abstraction layer.
+
+        May be called before or after :meth:`start`; versions deployed after
+        start are brought up immediately.  The first version of a model name
+        begins serving at once; a later version is *staged* (warm but not
+        serving) until :meth:`rollout` activates it, unless ``activate=True``
+        forces an immediate switch.  Returns the assigned :class:`ModelId`.
+        """
+        record = self._register_model(deployment, activate)
         if self._started:
             try:
                 running_loop = asyncio.get_running_loop()
@@ -149,25 +200,226 @@ class Clipper:
                 running_loop.create_task(self._start_model(record))
             else:
                 self._run_coroutine_now(self._start_model(record))
-        return model_id
+        return record.model_id
+
+    async def deploy_model_async(
+        self, deployment: ModelDeployment, activate: Optional[bool] = None
+    ) -> ModelId:
+        """Like :meth:`deploy_model`, but awaits the bring-up of the version.
+
+        This is the management plane's entry point: when it returns, the new
+        version's replicas and dispatchers are running (on a started
+        instance) and the version is serving or staged as requested.
+        """
+        async with self._admin_lock:
+            record = self._register_model(deployment, activate)
+            if self._started:
+                await self._start_model(record)
+            return record.model_id
+
+    async def undeploy_model(self, model: str) -> ModelId:
+        """Remove a model version from a (possibly running) instance.
+
+        ``model`` is a ``"name:version"`` key, or a bare name resolving to
+        its active version.  The version is first removed from the serving
+        set (no new queries route to it), then its batching queue is closed
+        and drained by its own dispatchers — in-flight queries complete —
+        before replicas are stopped.  The last serving model of a started
+        instance cannot be undeployed.
+        """
+        async with self._admin_lock:
+            key = self._resolve_model_key(model)
+            record = self._models[key]
+            name = record.model_id.name
+            if self._active.get(name) == key:
+                remaining = [k for n, k in self._active.items() if n != name]
+                if self._started and not remaining:
+                    raise DeploymentError(
+                        f"cannot undeploy '{key}': it is the last serving model"
+                    )
+                del self._active[name]
+                self._previous.pop(name, None)
+                self._rebuild_selection()
+            elif self._previous.get(name) == key:
+                del self._previous[name]
+            del self._models[key]
+            if self._started:
+                record.queue.close()
+                await self._drain_queue(record)
+                for dispatcher in record.dispatchers:
+                    await dispatcher.stop()
+                await record.replica_set.stop()
+            return record.model_id
+
+    async def set_num_replicas(self, model: str, num_replicas: int) -> int:
+        """Grow or shrink a model version's live replica set; returns the new size.
+
+        Scaling up builds fresh containers from the deployment's factory and
+        attaches a new dispatcher per replica to the version's existing
+        batching queue.  Scaling down detaches dispatchers one at a time —
+        each finishes its in-flight batch, and queries still waiting in the
+        shared queue are picked up by the surviving replicas — before the
+        spare replicas are stopped.
+        """
+        if num_replicas < 1:
+            raise DeploymentError("num_replicas must be >= 1")
+        async with self._admin_lock:
+            key = self._resolve_model_key(model)
+            record = self._models[key]
+            while len(record.replica_set) < num_replicas:
+                replica = record.replica_set.add_replica()
+                dispatcher = self._make_dispatcher(record, replica)
+                record.dispatchers.append(dispatcher)
+                if self._started:
+                    await replica.start()
+                    dispatcher.start()
+            while len(record.replica_set) > num_replicas:
+                replica = record.replica_set.replicas[-1]
+                dispatcher = record.dispatcher_for(replica)
+                if dispatcher is not None:
+                    await dispatcher.stop()
+                    record.dispatchers.remove(dispatcher)
+                record.replica_set.remove_replica(replica)
+                await replica.stop()
+            return len(record.replica_set)
+
+    def rollout(self, model_name: str, version: int) -> ModelId:
+        """Atomically make ``version`` of ``model_name`` the serving version.
+
+        The target version must already be deployed (normally staged via
+        :meth:`deploy_model`).  The swap is a synchronous pointer update on
+        the event loop — queries that already selected the old version keep
+        their in-flight futures (its machinery stays up), and every query
+        selected afterwards routes to the new version.  The old version is
+        retained, staged, with its selection state intact for
+        :meth:`rollback`.
+        """
+        key = str(ModelId(model_name, version))
+        record = self._models.get(key)
+        if record is None:
+            raise DeploymentError(
+                f"cannot roll out '{key}': that version is not deployed"
+            )
+        current = self._active.get(model_name)
+        if current == key:
+            return record.model_id
+        if current is not None:
+            self._previous[model_name] = current
+        self._active[model_name] = key
+        self._rebuild_selection()
+        return record.model_id
+
+    def rollback(self, model_name: str) -> ModelId:
+        """Atomically swap ``model_name`` back to its previously serving version."""
+        previous = self._previous.get(model_name)
+        if previous is None:
+            raise DeploymentError(
+                f"no previous version of '{model_name}' to roll back to"
+            )
+        if previous not in self._models:
+            raise DeploymentError(
+                f"previous version '{previous}' has been undeployed"
+            )
+        current = self._active.get(model_name)
+        self._active[model_name] = previous
+        if current is not None:
+            self._previous[model_name] = current
+        else:
+            del self._previous[model_name]
+        self._rebuild_selection()
+        return self._models[previous].model_id
+
+    def _resolve_model_key(self, model: str) -> str:
+        """Map a ``"name:version"`` key or bare name to a deployed key."""
+        if model in self._models:
+            return model
+        if model in self._active:
+            return self._active[model]
+        matches = [
+            key
+            for key, record in self._models.items()
+            if record.model_id.name == model
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if matches:
+            raise DeploymentError(
+                f"model name '{model}' is ambiguous between versions {sorted(matches)}"
+            )
+        raise DeploymentError(f"model '{model}' is not deployed")
+
+    @staticmethod
+    async def _drain_queue(record: _DeployedModel, timeout_s: float = 10.0) -> None:
+        """Wait for the record's dispatchers to drain its (closed) queue.
+
+        Event-driven: the queue wakes us when the last item is handed to a
+        dispatcher.  The timeout bounds teardown when nothing can drain the
+        queue any more (e.g. every dispatcher already quarantined).
+        """
+        await record.queue.wait_empty(timeout_s=timeout_s)
+
+    def _serving_keys(self) -> List[str]:
+        """Model keys currently receiving traffic, in deployment order."""
+        return list(self._active.values())
+
+    def _rebuild_selection(self) -> None:
+        self._selection = None
 
     def deployed_models(self) -> List[ModelId]:
-        """Ids of every deployed model."""
+        """Ids of every deployed model version (serving and staged)."""
         return [record.model_id for record in self._models.values()]
+
+    def serving_models(self) -> List[ModelId]:
+        """Ids of the versions currently receiving traffic."""
+        return [self._models[key].model_id for key in self._serving_keys()]
+
+    def active_version(self, model_name: str) -> Optional[ModelId]:
+        """The serving version of ``model_name`` (None when not serving)."""
+        key = self._active.get(model_name)
+        return self._models[key].model_id if key is not None else None
+
+    def model_versions(self, model_name: str) -> List[ModelId]:
+        """Every deployed version of one model name."""
+        return [
+            record.model_id
+            for record in self._models.values()
+            if record.model_id.name == model_name
+        ]
+
+    def model_records(self) -> List[_DeployedModel]:
+        """Internal serving records (used by the management plane)."""
+        return list(self._models.values())
+
+    def model_record(self, model: str) -> _DeployedModel:
+        """The serving record for one model key or bare name."""
+        return self._models[self._resolve_model_key(model)]
+
+    @property
+    def is_started(self) -> bool:
+        return self._started
 
     @property
     def selection_manager(self) -> SelectionStateManager:
-        """The selection-state manager (built lazily over the deployed models)."""
+        """The selection-state manager (built lazily over the serving models).
+
+        The store namespace is derived from the serving set, so each
+        combination of serving versions keeps its own policy state: a
+        rollout starts the new version's state fresh while the retired
+        version's state survives in its old namespace, and a rollback picks
+        that state right back up.
+        """
         if self._selection is None:
-            if not self._models:
+            serving = self._serving_keys()
+            if not serving:
                 raise ClipperError("no models are deployed")
             policy = make_policy(
                 self.config.selection_policy, **self.config.selection_policy_kwargs
             )
             self._selection = SelectionStateManager(
                 policy=policy,
-                model_ids=self.deployed_models(),
+                model_ids=[self._models[key].model_id for key in serving],
                 store=self.state_store,
+                namespace="selection-state@" + "|".join(serving),
             )
         return self._selection
 
@@ -228,7 +480,14 @@ class Clipper:
                 predictions[model_key] = cached
                 cache_hits += 1
                 continue
-            future = await self._submit(model_key, query, deadline, input_hash)
+            try:
+                future = await self._submit(model_key, query, deadline, input_hash)
+            except DeploymentError:
+                # The model was undeployed between selection and submission
+                # (a live management op); treat it as missing rather than
+                # failing the query.
+                self._unavailable_counter.increment()
+                continue
             pending[model_key] = future
 
         if pending:
@@ -377,15 +636,21 @@ class Clipper:
         input_hash = feedback.input_hash()
         predictions: Dict[str, Any] = {}
         pending: Dict[str, asyncio.Future] = {}
-        for model_key in self._models:
+        # Snapshot the serving set: live management ops may mutate it while
+        # this coroutine awaits, and staged/retired versions should not be
+        # evaluated for feedback.
+        for model_key in self._serving_keys():
             cached = self.cache.fetch_by_hash(model_key, input_hash)
             if cached is not None:
                 predictions[model_key] = cached
-            else:
-                query = Query(app_name=feedback.app_name, input=feedback.input)
+                continue
+            query = Query(app_name=feedback.app_name, input=feedback.input)
+            try:
                 pending[model_key] = await self._submit(
                     model_key, query, deadline=None, input_hash=input_hash
                 )
+            except DeploymentError:
+                self._unavailable_counter.increment()
         if pending:
             await asyncio.wait(list(pending.values()))
             for model_key, future in pending.items():

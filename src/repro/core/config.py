@@ -94,6 +94,11 @@ class ModelDeployment:
         serializer.  True models a container written against the Python
         bindings (serialization cost paid in Python); False models a native
         (C++-style) container whose serialization cost is negligible.
+    max_batch_retries:
+        How many times a query may be re-enqueued after a replica fails its
+        batch before the failure is surfaced to the caller.  With multiple
+        replicas this lets a healthy sibling absorb the work of a sick one
+        while the health monitor quarantines it.
     """
 
     name: str
@@ -102,12 +107,15 @@ class ModelDeployment:
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     version: int = 1
     serialize_rpc: bool = True
+    max_batch_retries: int = 3
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ConfigurationError("model deployment requires a non-empty name")
         if self.num_replicas < 1:
             raise ConfigurationError("num_replicas must be >= 1")
+        if self.max_batch_retries < 0:
+            raise ConfigurationError("max_batch_retries must be non-negative")
 
 
 @dataclass

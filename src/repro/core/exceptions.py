@@ -56,3 +56,7 @@ class CacheError(ClipperError):
 
 class StateStoreError(ClipperError):
     """Raised by the key-value state store on invalid operations."""
+
+
+class ManagementError(ClipperError):
+    """Raised by the management plane (registry conflicts, invalid lifecycle ops)."""

@@ -18,6 +18,44 @@ from repro.core.exceptions import ClipperError
 from repro.core.types import Feedback, Prediction, Query
 
 
+async def start_applications(clippers) -> None:
+    """Start a collection of applications all-or-nothing.
+
+    If one application fails to start, the ones already brought up are
+    stopped again (in reverse order) before the error propagates, so a
+    failed start never leaks running replicas.  Shared by the query and
+    management frontends.
+    """
+    started = []
+    try:
+        for clipper in clippers:
+            await clipper.start()
+            started.append(clipper)
+    except BaseException:
+        for clipper in reversed(started):
+            try:
+                await clipper.stop()
+            except Exception:
+                pass  # the original start failure is the error to surface
+        raise
+
+
+async def stop_applications(applications: Dict[str, Clipper]) -> None:
+    """Stop every application, collecting per-application errors.
+
+    One application failing to stop does not strand the others; the
+    collected errors are re-raised together as one :class:`ClipperError`.
+    """
+    errors = []
+    for app_name, clipper in applications.items():
+        try:
+            await clipper.stop()
+        except Exception as exc:
+            errors.append(f"{app_name}: {exc}")
+    if errors:
+        raise ClipperError("failed to stop application(s): " + "; ".join(errors))
+
+
 class QueryFrontend:
     """Routes prediction and feedback requests to registered applications."""
 
@@ -45,14 +83,12 @@ class QueryFrontend:
         return clipper
 
     async def start(self) -> None:
-        """Start every registered application."""
-        for clipper in self._applications.values():
-            await clipper.start()
+        """Start every registered application (all-or-nothing)."""
+        await start_applications(self._applications.values())
 
     async def stop(self) -> None:
-        """Stop every registered application."""
-        for clipper in self._applications.values():
-            await clipper.stop()
+        """Stop every registered application, collecting per-app errors."""
+        await stop_applications(self._applications)
 
     async def predict(
         self,

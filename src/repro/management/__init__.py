@@ -1,0 +1,43 @@
+"""The management plane: live deployment, versioned rollout, scaling, recovery.
+
+This package is the reproduction of the paper's *management frontend* — the
+half of Clipper's architecture that mutates a running serving deployment:
+
+* :class:`~repro.management.registry.ModelRegistry` — durable, versioned
+  record of applications, models and immutable model versions, persisted in
+  the key-value state store under optimistic concurrency.
+* :class:`~repro.management.health.HealthMonitor` — probes replicas,
+  quarantines unhealthy ones out of dispatch, and restarts them with
+  backoff.
+* :class:`~repro.management.frontend.ManagementFrontend` — the operator
+  surface mirroring the query frontend: deploy/undeploy, replica scaling,
+  rollout/rollback, health and registry introspection per application.
+"""
+
+from repro.management.frontend import ManagementFrontend
+from repro.management.health import HealthMonitor
+from repro.management.records import (
+    REPLICA_HEALTHY,
+    REPLICA_QUARANTINED,
+    REPLICA_RECOVERING,
+    VERSION_RETIRED,
+    VERSION_SERVING,
+    VERSION_STAGED,
+    VERSION_UNDEPLOYED,
+    ReplicaHealth,
+)
+from repro.management.registry import ModelRegistry
+
+__all__ = [
+    "ManagementFrontend",
+    "HealthMonitor",
+    "ModelRegistry",
+    "ReplicaHealth",
+    "REPLICA_HEALTHY",
+    "REPLICA_QUARANTINED",
+    "REPLICA_RECOVERING",
+    "VERSION_SERVING",
+    "VERSION_STAGED",
+    "VERSION_RETIRED",
+    "VERSION_UNDEPLOYED",
+]

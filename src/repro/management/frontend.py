@@ -1,0 +1,280 @@
+"""Operator-facing management frontend.
+
+The paper's architecture has two frontends: the query frontend applications
+call for predictions, and a management frontend operators call to mutate the
+serving configuration — deploy models and versions, scale replicas, roll
+out and roll back — with the state persisted in Redis.  The
+:class:`ManagementFrontend` is that second interface for the reproduction,
+mirroring :class:`~repro.core.frontend.QueryFrontend`: it hosts the same
+applications (each a :class:`~repro.core.clipper.Clipper`), validates and
+routes management operations by application name, records every operation in
+the :class:`~repro.management.registry.ModelRegistry`, and runs one
+:class:`~repro.management.health.HealthMonitor` per application.
+
+It is the single public surface for examples and tests::
+
+    mgmt = ManagementFrontend()
+    mgmt.register_application(clipper)
+    await mgmt.start()                       # serving + health monitoring up
+    await mgmt.deploy_model("app", ModelDeployment("svm", factory, version=2))
+    await mgmt.rollout("app", "svm", 2)      # v2 takes traffic atomically
+    await mgmt.set_num_replicas("app", "svm", 3)
+    await mgmt.rollback("app", "svm")        # v1 takes traffic back
+    await mgmt.stop()
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.core.clipper import Clipper
+from repro.core.config import ModelDeployment
+from repro.core.exceptions import ManagementError
+from repro.core.frontend import start_applications, stop_applications
+from repro.core.types import ModelId
+from repro.management.health import HealthMonitor
+from repro.management.records import ReplicaHealth
+from repro.management.registry import ModelRegistry
+from repro.state.kvstore import KeyValueStore
+
+
+class ManagementFrontend:
+    """Routes lifecycle operations to applications and records them durably."""
+
+    def __init__(
+        self,
+        store: Optional[KeyValueStore] = None,
+        registry: Optional[ModelRegistry] = None,
+        monitor_health: bool = True,
+        health_kwargs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.registry = registry or ModelRegistry(store=store)
+        self._applications: Dict[str, Clipper] = {}
+        self._monitors: Dict[str, HealthMonitor] = {}
+        self._monitor_health = monitor_health
+        self._health_kwargs = dict(health_kwargs or {})
+        self._started = False
+
+    # -- registration ----------------------------------------------------------
+
+    def register_application(self, clipper: Clipper) -> str:
+        """Register an application for management; the name comes from its config.
+
+        Any models already deployed on the instance are back-filled into the
+        registry so the durable record matches the running configuration.
+        When registering onto an already-started frontend, call
+        :meth:`start` again afterwards — it is idempotent for running
+        applications and brings up the new application and its health
+        monitor.
+        """
+        app_name = clipper.config.app_name
+        if app_name in self._applications:
+            raise ManagementError(f"application '{app_name}' is already managed")
+        self.registry.register_application(
+            app_name,
+            metadata={
+                "latency_slo_ms": clipper.config.latency_slo_ms,
+                "selection_policy": clipper.config.selection_policy,
+            },
+        )
+        self._applications[app_name] = clipper
+        if self._monitor_health:
+            self._monitors[app_name] = HealthMonitor(clipper, **self._health_kwargs)
+        for record in clipper.model_records():
+            model_id = record.model_id
+            self.registry.register_model_version(
+                app_name,
+                model_id.name,
+                model_id.version,
+                num_replicas=len(record.replica_set),
+                serving=clipper.active_version(model_id.name) == model_id,
+                batching_policy=record.deployment.batching.policy,
+            )
+        return app_name
+
+    def applications(self) -> List[str]:
+        """Names of every managed application."""
+        return sorted(self._applications)
+
+    def application(self, app_name: str) -> Clipper:
+        """The serving instance behind one application."""
+        return self._lookup(app_name)
+
+    def _lookup(self, app_name: str) -> Clipper:
+        clipper = self._applications.get(app_name)
+        if clipper is None:
+            raise ManagementError(
+                f"unknown application '{app_name}'; managed: {self.applications()}"
+            )
+        return clipper
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start every managed application and its health monitor.
+
+        Shares the query frontend's all-or-nothing start: a failure stops
+        the applications already brought up before propagating.  Idempotent
+        for already-running applications and monitors, so it can be called
+        again after :meth:`register_application` on a live frontend.
+        """
+        await start_applications(self._applications.values())
+        try:
+            for monitor in self._monitors.values():
+                await monitor.start()
+        except BaseException:
+            # Applications came up but a monitor did not: unwind both so a
+            # failed start leaves nothing running.
+            for monitor in self._monitors.values():
+                await monitor.stop()
+            try:
+                await stop_applications(self._applications)
+            except Exception:
+                pass  # surface the original monitor-start failure
+            raise
+        self._started = True
+
+    async def stop(self) -> None:
+        """Stop health monitors and applications, collecting per-app errors."""
+        for monitor in self._monitors.values():
+            await monitor.stop()
+        self._started = False
+        await stop_applications(self._applications)
+
+    # -- model lifecycle operations -------------------------------------------
+
+    async def deploy_model(
+        self,
+        app_name: str,
+        deployment: ModelDeployment,
+        activate: Optional[bool] = None,
+    ) -> ModelId:
+        """Deploy one model version onto a (possibly running) application.
+
+        On a started application the version's replicas are up when this
+        returns.  The first version of a name serves immediately; later
+        versions stage for :meth:`rollout` unless ``activate=True``.
+        """
+        clipper = self._lookup(app_name)
+        model_id = await clipper.deploy_model_async(deployment, activate=activate)
+        try:
+            self.registry.register_model_version(
+                app_name,
+                model_id.name,
+                model_id.version,
+                num_replicas=deployment.num_replicas,
+                serving=clipper.active_version(model_id.name) == model_id,
+                batching_policy=deployment.batching.policy,
+            )
+        except ManagementError:
+            # The registry refused the record (e.g. the version number was
+            # used and undeployed before — versions are immutable).  Undo
+            # the live deploy so the running configuration and the durable
+            # record never disagree.
+            try:
+                await clipper.undeploy_model(str(model_id))
+            except Exception:
+                pass  # surface the registry rejection, not the unwind
+            raise
+        return model_id
+
+    async def undeploy_model(self, app_name: str, model: str) -> ModelId:
+        """Drain and tear down one model version; its registry record is kept."""
+        clipper = self._lookup(app_name)
+        model_id = clipper.model_record(model).model_id
+        # Precheck the registry record: the teardown is irreversible, so a
+        # version deployed behind the frontend's back must be rejected
+        # before the live machinery is drained, not after.
+        self._require_registered(app_name, model_id)
+        await clipper.undeploy_model(str(model_id))
+        self.registry.mark_undeployed(app_name, model_id.name, model_id.version)
+        return model_id
+
+    async def set_num_replicas(self, app_name: str, model: str, num_replicas: int) -> int:
+        """Scale one model version's live replica set; returns the new size."""
+        clipper = self._lookup(app_name)
+        model_id = clipper.model_record(model).model_id
+        self._require_registered(app_name, model_id)
+        count = await clipper.set_num_replicas(model, num_replicas)
+        self.registry.set_num_replicas(app_name, model_id.name, model_id.version, count)
+        return count
+
+    def _require_registered(self, app_name: str, model_id: ModelId) -> None:
+        info = self.registry.model(app_name, model_id.name)
+        if str(model_id.version) not in info["versions"]:
+            raise ManagementError(
+                f"version {model_id.version} of model '{model_id.name}' is not "
+                "in the registry; deploy it through the management frontend"
+            )
+
+    async def rollout(self, app_name: str, model_name: str, version: int) -> ModelId:
+        """Atomically switch ``model_name`` to serve ``version``."""
+        clipper = self._lookup(app_name)
+        return self._switch_version(
+            clipper, app_name, model_name, lambda: clipper.rollout(model_name, version)
+        )
+
+    async def rollback(self, app_name: str, model_name: str) -> ModelId:
+        """Atomically switch ``model_name`` back to its previous version."""
+        clipper = self._lookup(app_name)
+        return self._switch_version(
+            clipper, app_name, model_name, lambda: clipper.rollback(model_name)
+        )
+
+    def _switch_version(self, clipper, app_name, model_name, switch) -> ModelId:
+        """Apply a live version switch and record it, unwinding on refusal."""
+        before = clipper.active_version(model_name)
+        model_id = switch()
+        try:
+            self.registry.set_active_version(app_name, model_name, model_id.version)
+        except ManagementError:
+            # The registry refused (e.g. the version was deployed directly
+            # on the clipper, bypassing the frontend): restore the previous
+            # serving version so traffic matches the durable record.
+            if before is not None and before != model_id:
+                try:
+                    clipper.rollout(model_name, before.version)
+                except Exception:
+                    pass  # surface the registry rejection, not the unwind
+            raise
+        return model_id
+
+    # -- introspection ---------------------------------------------------------
+
+    def models(self, app_name: str) -> Dict[str, Dict[str, Any]]:
+        """Registry records of every model of one application."""
+        self._lookup(app_name)
+        return self.registry.models(app_name)
+
+    def model_info(self, app_name: str, model_name: str) -> Dict[str, Any]:
+        """Registry record of one model (versions, active/previous)."""
+        self._lookup(app_name)
+        return self.registry.model(app_name, model_name)
+
+    def health_monitor(self, app_name: str) -> Optional[HealthMonitor]:
+        """The application's health monitor (None when monitoring is off)."""
+        self._lookup(app_name)
+        return self._monitors.get(app_name)
+
+    def replica_health(self, app_name: str) -> Dict[str, ReplicaHealth]:
+        """Per-replica health records of one application."""
+        monitor = self.health_monitor(app_name)
+        return monitor.status() if monitor is not None else {}
+
+    def describe(self, app_name: str) -> Dict[str, Any]:
+        """One-call operational snapshot of an application."""
+        clipper = self._lookup(app_name)
+        return {
+            "app_name": app_name,
+            "started": clipper.is_started,
+            "serving": [str(m) for m in clipper.serving_models()],
+            "deployed": [str(m) for m in clipper.deployed_models()],
+            "replicas": {
+                str(record.model_id): len(record.replica_set)
+                for record in clipper.model_records()
+            },
+            "health": {
+                name: status.state
+                for name, status in self.replica_health(app_name).items()
+            },
+        }

@@ -1,0 +1,274 @@
+"""Health-driven replica recovery.
+
+The paper's management plane restarts model containers that stop responding
+so the serving tier self-heals without operator action.  The
+:class:`HealthMonitor` reproduces that loop for one running
+:class:`~repro.core.clipper.Clipper`:
+
+* **probe** — every replica of every deployed version is probed over RPC on
+  an interval (the heartbeat reply carries the container's own ``healthy()``
+  verdict).  A probe fails when the replica does not answer within the probe
+  timeout, answers unhealthy, or answers slower than an optional latency
+  ceiling.  Dispatcher batch failures count as a passive signal alongside
+  the active probes, so a replica that dies mid-traffic is caught without
+  waiting for the next probe tick.
+* **quarantine** — after ``failure_threshold`` consecutive failures the
+  replica's dispatcher is detached from the live batching queue (its
+  in-flight batch drains or is re-enqueued; queued queries flow to healthy
+  siblings) and the replica stops receiving traffic.
+* **recover** — a per-replica background task rebuilds the container from
+  the deployment's factory with exponential backoff, health-checks the
+  replacement, and only then re-attaches the dispatcher to the queue.
+
+Progress is visible through the Clipper's :class:`MetricsRegistry`
+(``health.probes``, ``health.probe_failures``, ``health.quarantines``,
+``health.restarts``, ``health.recoveries``) and through :meth:`status`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clipper import Clipper
+from repro.core.exceptions import ContainerError
+from repro.management.records import (
+    REPLICA_HEALTHY,
+    REPLICA_QUARANTINED,
+    REPLICA_RECOVERING,
+    ReplicaHealth,
+)
+
+
+class HealthMonitor:
+    """Probes a Clipper's replicas, quarantining and restarting sick ones.
+
+    Parameters
+    ----------
+    clipper:
+        The serving instance to watch.
+    probe_interval_s:
+        Delay between probe sweeps over every replica.
+    failure_threshold:
+        Consecutive probe failures (or dispatcher batch failures) that
+        trigger quarantine.
+    probe_timeout_s:
+        Deadline for one heartbeat probe, including waiting behind an
+        in-flight batch on the replica's RPC connection.
+    latency_ceiling_ms:
+        Optional ceiling on the probe round-trip: slower replies count as
+        failures even when the replica eventually answers (a replica this
+        slow is straggling every batch it serves).
+    restart_backoff_s / backoff_factor / max_backoff_s:
+        Exponential-backoff schedule for restart attempts while a replica
+        stays sick.
+    """
+
+    def __init__(
+        self,
+        clipper: Clipper,
+        probe_interval_s: float = 0.1,
+        failure_threshold: int = 3,
+        probe_timeout_s: float = 1.0,
+        latency_ceiling_ms: Optional[float] = None,
+        restart_backoff_s: float = 0.05,
+        backoff_factor: float = 2.0,
+        max_backoff_s: float = 2.0,
+    ) -> None:
+        self.clipper = clipper
+        self.probe_interval_s = probe_interval_s
+        self.failure_threshold = failure_threshold
+        self.probe_timeout_s = probe_timeout_s
+        self.latency_ceiling_ms = latency_ceiling_ms
+        self.restart_backoff_s = restart_backoff_s
+        self.backoff_factor = backoff_factor
+        self.max_backoff_s = max_backoff_s
+
+        metrics = clipper.metrics
+        self._probe_counter = metrics.counter("health.probes")
+        self._failure_counter = metrics.counter("health.probe_failures")
+        self._quarantine_counter = metrics.counter("health.quarantines")
+        self._restart_counter = metrics.counter("health.restarts")
+        self._recovery_counter = metrics.counter("health.recoveries")
+
+        self._statuses: Dict[Tuple[str, int], ReplicaHealth] = {}
+        self._recovery_tasks: Dict[Tuple[str, int], asyncio.Task] = {}
+        self._task: Optional[asyncio.Task] = None
+        self._running = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Start the probe loop as a background task."""
+        if self._task is None or self._task.done():
+            self._running = True
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        """Stop probing and cancel any in-flight recovery tasks."""
+        self._running = False
+        tasks = [self._task] + list(self._recovery_tasks.values())
+        self._task = None
+        self._recovery_tasks.clear()
+        for task in tasks:
+            if task is None or task.done():
+                continue
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+    async def _run(self) -> None:
+        while self._running:
+            try:
+                await self.probe_once()
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                # The monitor must outlive transient probe errors (e.g. a
+                # replica torn down mid-sweep by a concurrent scale-down).
+                pass
+            await asyncio.sleep(self.probe_interval_s)
+
+    # -- probing ----------------------------------------------------------------
+
+    async def probe_once(self) -> None:
+        """Sweep every replica of every deployed version once.
+
+        Probes run concurrently so one unresponsive replica burning its full
+        ``probe_timeout_s`` does not delay failure detection for the others.
+        """
+        targets = []
+        for record in self.clipper.model_records():
+            model_key = str(record.model_id)
+            for replica in list(record.replica_set):
+                status = self._status_for(model_key, replica)
+                if status.state != REPLICA_HEALTHY:
+                    continue  # a recovery task owns this replica
+                dispatcher = record.dispatcher_for(replica)
+                if (
+                    dispatcher is not None
+                    and dispatcher.consecutive_failures >= self.failure_threshold
+                ):
+                    # Passive signal: the dispatcher saw the replica fail
+                    # batch after batch; no need to wait for probes to agree.
+                    await self._quarantine(record, replica, status)
+                    continue
+                targets.append((record, replica, status))
+        if not targets:
+            return
+        results = await asyncio.gather(
+            *(self._probe_replica(replica) for _, replica, _ in targets)
+        )
+        for (record, replica, status), (ok, rtt_ms) in zip(targets, results):
+            self._probe_counter.increment()
+            status.probes += 1
+            status.last_probe_latency_ms = rtt_ms
+            if ok and (
+                self.latency_ceiling_ms is None or rtt_ms <= self.latency_ceiling_ms
+            ):
+                status.consecutive_failures = 0
+                continue
+            status.consecutive_failures += 1
+            status.failures += 1
+            self._failure_counter.increment()
+            if status.consecutive_failures >= self.failure_threshold:
+                await self._quarantine(record, replica, status)
+
+    async def _probe_replica(self, replica) -> Tuple[bool, float]:
+        start = time.perf_counter()
+        ok = await replica.check_health(timeout_s=self.probe_timeout_s)
+        return ok, (time.perf_counter() - start) * 1000.0
+
+    def _status_for(self, model_key: str, replica) -> ReplicaHealth:
+        key = (model_key, replica.replica_id)
+        status = self._statuses.get(key)
+        if status is None:
+            status = ReplicaHealth(
+                replica_name=replica.name,
+                model_key=model_key,
+                replica_id=replica.replica_id,
+            )
+            self._statuses[key] = status
+        return status
+
+    # -- quarantine & recovery ---------------------------------------------------
+
+    async def _quarantine(self, record, replica, status: ReplicaHealth) -> None:
+        status.mark(REPLICA_QUARANTINED)
+        status.quarantines += 1
+        self._quarantine_counter.increment()
+        dispatcher = record.dispatcher_for(replica)
+        if dispatcher is not None:
+            # Detach from the live queue: the in-flight batch completes (or
+            # re-enqueues its queries on failure) and queued queries flow to
+            # the model's healthy replicas.
+            await dispatcher.stop()
+        key = (str(record.model_id), replica.replica_id)
+        self._recovery_tasks[key] = asyncio.get_running_loop().create_task(
+            self._recover(record, replica, dispatcher, status)
+        )
+
+    async def _recover(self, record, replica, dispatcher, status: ReplicaHealth) -> None:
+        """Restart a quarantined replica with backoff until it probes healthy."""
+        key = (str(record.model_id), replica.replica_id)
+        backoff = self.restart_backoff_s
+        current = replica
+        try:
+            while self._running:
+                await asyncio.sleep(backoff)
+                status.mark(REPLICA_RECOVERING)
+                try:
+                    fresh = await record.replica_set.replace_replica(current)
+                except ContainerError:
+                    # The replica was scaled away (or the model undeployed)
+                    # while quarantined; nothing left to recover.
+                    return
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    # A transiently failing container factory must not kill
+                    # the recovery task — that would abandon the replica in
+                    # quarantine forever.  Treat it as a failed attempt.
+                    status.mark(REPLICA_QUARANTINED)
+                    backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
+                    continue
+                self._restart_counter.increment()
+                status.restarts += 1
+                current = fresh
+                try:
+                    await fresh.start()
+                    healthy = await fresh.check_health(timeout_s=self.probe_timeout_s)
+                except asyncio.CancelledError:
+                    raise
+                except Exception:
+                    healthy = False
+                if healthy:
+                    if dispatcher is not None:
+                        dispatcher.replica = fresh
+                        dispatcher.consecutive_failures = 0
+                        if self.clipper.is_started:
+                            dispatcher.start()
+                    status.mark(REPLICA_HEALTHY)
+                    status.consecutive_failures = 0
+                    self._recovery_counter.increment()
+                    return
+                status.mark(REPLICA_QUARANTINED)
+                backoff = min(backoff * self.backoff_factor, self.max_backoff_s)
+        finally:
+            self._recovery_tasks.pop(key, None)
+
+    # -- introspection ------------------------------------------------------------
+
+    def status(self) -> Dict[str, ReplicaHealth]:
+        """Health record per replica name (includes replaced replicas' history)."""
+        return {status.replica_name: status for status in self._statuses.values()}
+
+    def replicas_in_state(self, state: str) -> List[ReplicaHealth]:
+        return [s for s in self._statuses.values() if s.state == state]
+
+    @property
+    def is_running(self) -> bool:
+        return self._running

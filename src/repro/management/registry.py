@@ -1,0 +1,262 @@
+"""Versioned model registry persisted in the key-value state store.
+
+The paper's management frontend keeps the serving configuration —
+applications, models, versions, replica counts — in Redis, separate from the
+serving path, so operators can mutate it without restarting the query
+frontend.  :class:`ModelRegistry` plays that role here on top of
+:class:`~repro.state.kvstore.KeyValueStore`.
+
+Every mutation goes through an optimistic-concurrency loop built on
+``put_if_version``: read the record with its version, apply the update to a
+copy, and compare-and-swap it back, retrying on interleaved writers.  That
+makes concurrent management operations (two operators, or the management
+frontend racing the health monitor) safe without a coarse lock around the
+store — the same versioned-replicated-state discipline CRDT systems lean on.
+
+Stored layout (namespace ``management``)::
+
+    applications            -> {app_name: {"registered_at", "metadata"}}
+    models:<app>            -> {model_name: {"active_version": int|None,
+                                             "previous_version": int|None,
+                                             "versions": {str(v): version_record}}}
+
+Version records are immutable deploy metadata (registering the same
+``(name, version)`` twice is an error); only the lifecycle ``state`` and
+``num_replicas`` fields move.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.core.exceptions import ManagementError
+from repro.management.records import (
+    VERSION_RETIRED,
+    VERSION_SERVING,
+    VERSION_STAGED,
+    VERSION_UNDEPLOYED,
+    version_record,
+)
+from repro.state.kvstore import KeyValueStore
+
+#: Store namespace holding every registry record.
+NAMESPACE = "management"
+#: Key of the application index.
+APPLICATIONS_KEY = "applications"
+
+
+def _models_key(app_name: str) -> str:
+    return f"models:{app_name}"
+
+
+class ModelRegistry:
+    """Durable record of applications, models and immutable model versions."""
+
+    def __init__(
+        self,
+        store: Optional[KeyValueStore] = None,
+        namespace: str = NAMESPACE,
+        max_cas_retries: int = 32,
+    ) -> None:
+        self.store = store or KeyValueStore()
+        self.namespace = namespace
+        self.max_cas_retries = max_cas_retries
+
+    # -- optimistic-concurrency plumbing --------------------------------------
+
+    def _update(self, key: str, fn: Callable[[Dict], Dict]) -> Dict:
+        """Apply ``fn`` to the record at ``key`` under compare-and-swap.
+
+        ``fn`` receives a private copy of the current record (an empty dict
+        when absent) and returns the record to store.  Retries when another
+        writer won the race; raises :class:`ManagementError` if the race is
+        lost ``max_cas_retries`` times in a row.
+        """
+        for _ in range(self.max_cas_retries):
+            value, version = self.store.get_with_version(self.namespace, key)
+            current = copy.deepcopy(value) if value is not None else {}
+            updated = fn(current)
+            if self.store.put_if_version(self.namespace, key, updated, version):
+                return updated
+        raise ManagementError(
+            f"lost the optimistic-concurrency race on '{key}' "
+            f"{self.max_cas_retries} times; giving up"
+        )
+
+    # -- applications ----------------------------------------------------------
+
+    def register_application(
+        self, app_name: str, metadata: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Record a new application; duplicate names are rejected."""
+
+        def update(apps: Dict) -> Dict:
+            if app_name in apps:
+                raise ManagementError(f"application '{app_name}' is already registered")
+            apps[app_name] = {
+                "registered_at": time.time(),
+                "metadata": dict(metadata or {}),
+            }
+            return apps
+
+        return self._update(APPLICATIONS_KEY, update)[app_name]
+
+    def applications(self) -> List[str]:
+        """Names of every registered application."""
+        return sorted(self.store.get(self.namespace, APPLICATIONS_KEY, {}))
+
+    def application(self, app_name: str) -> Dict[str, Any]:
+        """The stored record of one application."""
+        apps = self.store.get(self.namespace, APPLICATIONS_KEY, {})
+        if app_name not in apps:
+            raise ManagementError(f"application '{app_name}' is not registered")
+        return copy.deepcopy(apps[app_name])
+
+    def _require_app(self, app_name: str) -> None:
+        if app_name not in self.store.get(self.namespace, APPLICATIONS_KEY, {}):
+            raise ManagementError(f"application '{app_name}' is not registered")
+
+    # -- model versions --------------------------------------------------------
+
+    def register_model_version(
+        self,
+        app_name: str,
+        model_name: str,
+        version: int,
+        num_replicas: int = 1,
+        serving: bool = False,
+        batching_policy: str = "aimd",
+        metadata: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Record one immutable model version, optionally as the serving one."""
+        self._require_app(app_name)
+
+        def update(models: Dict) -> Dict:
+            model = models.setdefault(
+                model_name,
+                {"active_version": None, "previous_version": None, "versions": {}},
+            )
+            vkey = str(version)
+            if vkey in model["versions"]:
+                raise ManagementError(
+                    f"version {version} of model '{model_name}' is already "
+                    "registered; versions are immutable"
+                )
+            model["versions"][vkey] = version_record(
+                version,
+                num_replicas,
+                VERSION_SERVING if serving else VERSION_STAGED,
+                batching_policy=batching_policy,
+                metadata=metadata,
+            )
+            if serving:
+                self._activate(model, version)
+            return models
+
+        self._update(_models_key(app_name), update)
+        return self.model(app_name, model_name)
+
+    @staticmethod
+    def _activate(model: Dict, version: int) -> None:
+        previous = model["active_version"]
+        if previous is not None and previous != version:
+            model["previous_version"] = previous
+            model["versions"][str(previous)]["state"] = VERSION_RETIRED
+        model["active_version"] = version
+        model["versions"][str(version)]["state"] = VERSION_SERVING
+
+    def set_active_version(
+        self, app_name: str, model_name: str, version: int
+    ) -> Dict[str, Any]:
+        """Record a rollout (or rollback) of ``model_name`` to ``version``."""
+        self._require_app(app_name)
+
+        def update(models: Dict) -> Dict:
+            model = self._require_model(models, model_name)
+            vkey = str(version)
+            if vkey not in model["versions"]:
+                raise ManagementError(
+                    f"version {version} of model '{model_name}' is not registered"
+                )
+            if model["versions"][vkey]["state"] == VERSION_UNDEPLOYED:
+                raise ManagementError(
+                    f"version {version} of model '{model_name}' has been undeployed"
+                )
+            self._activate(model, version)
+            return models
+
+        self._update(_models_key(app_name), update)
+        return self.model(app_name, model_name)
+
+    def set_num_replicas(
+        self, app_name: str, model_name: str, version: int, num_replicas: int
+    ) -> Dict[str, Any]:
+        """Record the replica count of one version after a scaling op."""
+        self._require_app(app_name)
+
+        def update(models: Dict) -> Dict:
+            model = self._require_model(models, model_name)
+            record = model["versions"].get(str(version))
+            if record is None:
+                raise ManagementError(
+                    f"version {version} of model '{model_name}' is not registered"
+                )
+            record["num_replicas"] = int(num_replicas)
+            return models
+
+        self._update(_models_key(app_name), update)
+        return self.model(app_name, model_name)
+
+    def mark_undeployed(
+        self, app_name: str, model_name: str, version: int
+    ) -> Dict[str, Any]:
+        """Record that one version's machinery was torn down.
+
+        The version record is retained (deploy history survives) but can no
+        longer be activated.
+        """
+        self._require_app(app_name)
+
+        def update(models: Dict) -> Dict:
+            model = self._require_model(models, model_name)
+            record = model["versions"].get(str(version))
+            if record is None:
+                raise ManagementError(
+                    f"version {version} of model '{model_name}' is not registered"
+                )
+            record["state"] = VERSION_UNDEPLOYED
+            if model["active_version"] == version:
+                model["active_version"] = None
+            if model["previous_version"] == version:
+                model["previous_version"] = None
+            return models
+
+        self._update(_models_key(app_name), update)
+        return self.model(app_name, model_name)
+
+    @staticmethod
+    def _require_model(models: Dict, model_name: str) -> Dict:
+        model = models.get(model_name)
+        if model is None:
+            raise ManagementError(f"model '{model_name}' is not registered")
+        return model
+
+    # -- read side -------------------------------------------------------------
+
+    def models(self, app_name: str) -> Dict[str, Dict[str, Any]]:
+        """Every model record of one application."""
+        self._require_app(app_name)
+        return copy.deepcopy(self.store.get(self.namespace, _models_key(app_name), {}))
+
+    def model(self, app_name: str, model_name: str) -> Dict[str, Any]:
+        """The record of one model (active/previous version + version map)."""
+        models = self.models(app_name)
+        if model_name not in models:
+            raise ManagementError(f"model '{model_name}' is not registered")
+        return models[model_name]
+
+    def active_version(self, app_name: str, model_name: str) -> Optional[int]:
+        """The version of ``model_name`` recorded as serving, if any."""
+        return self.model(app_name, model_name)["active_version"]

@@ -50,18 +50,35 @@ class RpcClient:
             )
         return response
 
-    async def heartbeat(self) -> bool:
-        """Check container liveness; returns True when it responds."""
+    async def heartbeat(self, timeout_s: Optional[float] = None) -> bool:
+        """Probe container health; returns True when it responds healthy.
+
+        ``timeout_s`` bounds the whole probe — including waiting for the
+        client lock behind an in-flight batch — so health monitors can use a
+        probe deadline much shorter than the prediction RPC timeout.  A
+        response whose ``healthy`` flag is false (the container's own
+        :meth:`~repro.containers.base.ModelContainer.healthy` verdict) counts
+        as a failed probe even though the transport is alive.
+        """
         request_id = next(self._request_ids)
+        try:
+            exchange = self._heartbeat_exchange(request_id)
+            if timeout_s is None:
+                payload = await exchange
+            else:
+                payload = await asyncio.wait_for(exchange, timeout=timeout_s)
+        except (RpcError, asyncio.TimeoutError):
+            return False
+        return message_type(payload) == MessageType.HEARTBEAT_RESPONSE and bool(
+            payload.get("healthy", True)
+        )
+
+    async def _heartbeat_exchange(self, request_id: int) -> dict:
         async with self._lock:
             await self._transport.send(
                 {"type": int(MessageType.HEARTBEAT), "request_id": request_id}
             )
-            try:
-                payload = await self._recv_matching(request_id)
-            except RpcError:
-                return False
-        return message_type(payload) == MessageType.HEARTBEAT_RESPONSE
+            return await self._recv_matching(request_id)
 
     async def _recv_matching(self, request_id: int) -> dict:
         """Receive until a payload with the expected request id arrives."""

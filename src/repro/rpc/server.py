@@ -48,10 +48,19 @@ class ContainerRpcServer:
                 return
             kind = message_type(payload)
             if kind == MessageType.HEARTBEAT:
+                # The heartbeat reply doubles as a health probe: it carries
+                # the container's own liveness verdict so the management
+                # plane's HealthMonitor can distinguish "transport is up but
+                # the model is sick" from plain transport liveness.
+                try:
+                    healthy = bool(self._container.healthy())
+                except Exception:
+                    healthy = False
                 await self._transport.send(
                     {
                         "type": int(MessageType.HEARTBEAT_RESPONSE),
                         "request_id": int(payload["request_id"]),
+                        "healthy": healthy,
                     }
                 )
                 continue

@@ -154,3 +154,73 @@ class TestDispatchLoop:
             assert "model.model:1.batch_latency_ms" in snapshot.histograms
 
         run_async(scenario())
+
+
+class TestFailureRequeue:
+    def test_failed_batch_requeues_within_retry_budget(self):
+        class Exploding(ModelContainer):
+            def predict_batch(self, inputs):
+                raise RuntimeError("boom")
+
+        async def scenario():
+            replica = ContainerReplica(ModelId("model"), 0, Exploding())
+            queue = BatchingQueue()
+            dispatcher = ReplicaDispatcher(
+                replica, queue, FixedBatchSizeController(batch_size=8), max_retries=2
+            )
+            await replica.start()
+            item = make_item(np.zeros(1))
+            await dispatcher.dispatch_batch([item])
+            # First failure: the query went back onto the shared queue.
+            assert not item.future.done()
+            assert queue.qsize() == 1
+            assert item.attempts == 1
+            assert dispatcher.consecutive_failures == 1
+
+            # Exhaust the retry budget: the failure surfaces.
+            await dispatcher.dispatch_batch([queue._items.popleft()])
+            await dispatcher.dispatch_batch([queue._items.popleft()])
+            with pytest.raises(ContainerError):
+                item.future.result()
+            assert dispatcher.consecutive_failures == 3
+            await replica.stop()
+
+        run_async(scenario())
+
+    def test_healthy_sibling_absorbs_requeued_queries(self):
+        class Exploding(ModelContainer):
+            def predict_batch(self, inputs):
+                raise RuntimeError("boom")
+
+        async def scenario():
+            queue = BatchingQueue()
+            sick = ContainerReplica(ModelId("model"), 0, Exploding())
+            healthy = ContainerReplica(ModelId("model"), 1, NoOpContainer(output=6))
+            sick_dispatcher = ReplicaDispatcher(
+                sick, queue, FixedBatchSizeController(batch_size=8), max_retries=2
+            )
+            healthy_dispatcher = ReplicaDispatcher(
+                healthy, queue, FixedBatchSizeController(batch_size=8)
+            )
+            await sick.start()
+            await healthy.start()
+            item = make_item(np.zeros(1))
+            await sick_dispatcher.dispatch_batch([item])  # fails, requeues
+            healthy_dispatcher.start()
+            assert await asyncio.wait_for(item.future, timeout=2.0) == 6
+            await healthy_dispatcher.stop()
+            await sick.stop()
+            await healthy.stop()
+
+        run_async(scenario())
+
+    def test_success_resets_consecutive_failures(self):
+        async def scenario():
+            replica, queue, dispatcher = build_dispatcher(NoOpContainer(output=1))
+            dispatcher.consecutive_failures = 3
+            await replica.start()
+            await dispatcher.dispatch_batch([make_item(np.zeros(1))])
+            assert dispatcher.consecutive_failures == 0
+            await replica.stop()
+
+        run_async(scenario())

@@ -92,3 +92,48 @@ class TestRouting:
             assert prediction.output == 1
 
         run_async(scenario())
+
+
+class TestPartialStartAndStop:
+    def test_failed_start_stops_already_started_applications(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            healthy = make_app("vision")
+            frontend.register_application(healthy)
+            # An application with no deployed models refuses to start.
+            frontend.register_application(Clipper(ClipperConfig(app_name="broken")))
+            with pytest.raises(ClipperError):
+                await frontend.start()
+            # The application started before the failure was stopped again.
+            assert healthy._started is False
+
+        run_async(scenario())
+
+    def test_stop_failure_does_not_strand_other_applications(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            failing = make_app("vision")
+            healthy = make_app("speech")
+            frontend.register_application(failing)
+            frontend.register_application(healthy)
+            await frontend.start()
+
+            async def explode():
+                raise RuntimeError("boom")
+
+            failing.stop = explode
+            with pytest.raises(ClipperError, match="vision"):
+                await frontend.stop()
+            assert healthy._started is False
+
+        run_async(scenario())
+
+    def test_clean_start_stop_unaffected(self):
+        async def scenario():
+            frontend = QueryFrontend()
+            frontend.register_application(make_app("vision"))
+            frontend.register_application(make_app("speech"))
+            await frontend.start()
+            await frontend.stop()
+
+        run_async(scenario())

@@ -104,3 +104,44 @@ class TestTTL:
         store.put("ns", "k", 1, ttl_s=10.0)
         clock["now"] = 5.0
         assert store.get("ns", "k") == 1
+
+
+class TestConcurrentOptimisticWriters:
+    def test_interleaved_cas_loses_no_updates(self):
+        """Two management writers CAS-incrementing one record stay linearizable."""
+        import threading
+
+        store = KeyValueStore()
+        store.put("mgmt", "counter", 0)
+        increments_per_writer = 200
+        barrier = threading.Barrier(2)
+
+        def writer():
+            barrier.wait()
+            for _ in range(increments_per_writer):
+                while True:
+                    value, version = store.get_with_version("mgmt", "counter")
+                    if store.put_if_version("mgmt", "counter", value + 1, version):
+                        break
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        value, version = store.get_with_version("mgmt", "counter")
+        assert value == 2 * increments_per_writer
+        # One initial put plus exactly one version bump per successful CAS.
+        assert version == 1 + 2 * increments_per_writer
+
+    def test_same_snapshot_cas_admits_exactly_one_winner(self):
+        store = KeyValueStore()
+        store.put("mgmt", "record", {"owner": None})
+        _, version = store.get_with_version("mgmt", "record")
+        outcomes = [
+            store.put_if_version("mgmt", "record", {"owner": "a"}, version),
+            store.put_if_version("mgmt", "record", {"owner": "b"}, version),
+        ]
+        assert sorted(outcomes) == [False, True]
+        assert store.get("mgmt", "record") == {"owner": "a"}

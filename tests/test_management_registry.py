@@ -1,0 +1,165 @@
+"""Tests for the versioned model registry and its optimistic concurrency."""
+
+import threading
+
+import pytest
+
+from repro.core.exceptions import ManagementError
+from repro.management.records import (
+    VERSION_RETIRED,
+    VERSION_SERVING,
+    VERSION_STAGED,
+    VERSION_UNDEPLOYED,
+)
+from repro.management.registry import ModelRegistry
+from repro.state.kvstore import KeyValueStore
+
+
+def make_registry():
+    registry = ModelRegistry()
+    registry.register_application("app")
+    return registry
+
+
+class TestApplications:
+    def test_register_and_list(self):
+        registry = ModelRegistry()
+        registry.register_application("vision")
+        registry.register_application("speech")
+        assert registry.applications() == ["speech", "vision"]
+        assert "registered_at" in registry.application("vision")
+
+    def test_duplicate_application_rejected(self):
+        registry = ModelRegistry()
+        registry.register_application("vision")
+        with pytest.raises(ManagementError):
+            registry.register_application("vision")
+
+    def test_unknown_application_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ManagementError):
+            registry.register_model_version("ghost", "m", 1)
+        with pytest.raises(ManagementError):
+            registry.models("ghost")
+
+
+class TestModelVersions:
+    def test_first_serving_version(self):
+        registry = make_registry()
+        record = registry.register_model_version("app", "svm", 1, serving=True)
+        assert record["active_version"] == 1
+        assert record["versions"]["1"]["state"] == VERSION_SERVING
+
+    def test_later_version_stages(self):
+        registry = make_registry()
+        registry.register_model_version("app", "svm", 1, serving=True)
+        record = registry.register_model_version("app", "svm", 2, num_replicas=2)
+        assert record["active_version"] == 1
+        assert record["versions"]["2"]["state"] == VERSION_STAGED
+        assert record["versions"]["2"]["num_replicas"] == 2
+
+    def test_versions_are_immutable(self):
+        registry = make_registry()
+        registry.register_model_version("app", "svm", 1)
+        with pytest.raises(ManagementError):
+            registry.register_model_version("app", "svm", 1)
+
+    def test_rollout_retires_previous_and_rollback_restores(self):
+        registry = make_registry()
+        registry.register_model_version("app", "svm", 1, serving=True)
+        registry.register_model_version("app", "svm", 2)
+
+        record = registry.set_active_version("app", "svm", 2)
+        assert record["active_version"] == 2
+        assert record["previous_version"] == 1
+        assert record["versions"]["1"]["state"] == VERSION_RETIRED
+        assert record["versions"]["2"]["state"] == VERSION_SERVING
+
+        record = registry.set_active_version("app", "svm", 1)  # rollback
+        assert record["active_version"] == 1
+        assert record["previous_version"] == 2
+        assert record["versions"]["1"]["state"] == VERSION_SERVING
+        assert record["versions"]["2"]["state"] == VERSION_RETIRED
+
+    def test_activating_unknown_or_undeployed_version_rejected(self):
+        registry = make_registry()
+        registry.register_model_version("app", "svm", 1, serving=True)
+        with pytest.raises(ManagementError):
+            registry.set_active_version("app", "svm", 9)
+        registry.register_model_version("app", "svm", 2)
+        registry.mark_undeployed("app", "svm", 2)
+        with pytest.raises(ManagementError):
+            registry.set_active_version("app", "svm", 2)
+
+    def test_undeploy_clears_active_and_previous_pointers(self):
+        registry = make_registry()
+        registry.register_model_version("app", "svm", 1, serving=True)
+        registry.register_model_version("app", "svm", 2)
+        registry.set_active_version("app", "svm", 2)
+        record = registry.mark_undeployed("app", "svm", 1)
+        assert record["previous_version"] is None
+        record = registry.mark_undeployed("app", "svm", 2)
+        assert record["active_version"] is None
+        assert record["versions"]["2"]["state"] == VERSION_UNDEPLOYED
+
+    def test_set_num_replicas_updates_record(self):
+        registry = make_registry()
+        registry.register_model_version("app", "svm", 1, serving=True)
+        record = registry.set_num_replicas("app", "svm", 1, 4)
+        assert record["versions"]["1"]["num_replicas"] == 4
+
+
+class TestOptimisticConcurrency:
+    def test_two_concurrent_writers_both_land(self):
+        """Interleaved writers on the same record must not lose updates."""
+        store = KeyValueStore()
+        registry_a = ModelRegistry(store=store)
+        registry_b = ModelRegistry(store=store)
+        registry_a.register_application("app")
+
+        versions_per_writer = 25
+        barrier = threading.Barrier(2)
+        errors = []
+
+        def writer(registry, offset):
+            try:
+                barrier.wait()
+                for i in range(versions_per_writer):
+                    registry.register_model_version("app", "svm", offset + i)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=writer, args=(registry_a, 0)),
+            threading.Thread(target=writer, args=(registry_b, 1000)),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert errors == []
+        record = registry_a.model("app", "svm")
+        assert len(record["versions"]) == 2 * versions_per_writer
+
+    def test_conflicting_insert_raises_not_overwrites(self):
+        """Both writers registering the same version: exactly one wins."""
+        store = KeyValueStore()
+        registry_a = ModelRegistry(store=store)
+        registry_b = ModelRegistry(store=store)
+        registry_a.register_application("app")
+        registry_a.register_model_version("app", "svm", 1, metadata={"writer": "a"})
+        with pytest.raises(ManagementError):
+            registry_b.register_model_version("app", "svm", 1, metadata={"writer": "b"})
+        assert registry_a.model("app", "svm")["versions"]["1"]["metadata"] == {
+            "writer": "a"
+        }
+
+    def test_cas_exhaustion_raises(self):
+        class AlwaysLosing(KeyValueStore):
+            def put_if_version(self, namespace, key, value, expected_version):
+                return False
+
+        registry = ModelRegistry(store=AlwaysLosing(), max_cas_retries=3)
+        with pytest.raises(ManagementError, match="optimistic-concurrency"):
+            registry.register_application("app")

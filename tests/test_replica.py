@@ -75,3 +75,85 @@ class TestReplicaSet:
             await replica_set.stop()
 
         run_async(scenario())
+
+
+class TestDynamicMembership:
+    def test_add_replica_extends_the_set_with_monotonic_ids(self):
+        replica_set = ReplicaSet(ModelId("m"), NoOpContainer, num_replicas=2)
+        added = replica_set.add_replica()
+        assert len(replica_set) == 3
+        assert added.replica_id == 2
+        assert [r.replica_id for r in replica_set] == [0, 1, 2]
+
+    def test_remove_replica_by_identity(self):
+        replica_set = ReplicaSet(ModelId("m"), NoOpContainer, num_replicas=3)
+        victim = replica_set.replicas[1]
+        replica_set.remove_replica(victim)
+        assert len(replica_set) == 2
+        assert victim not in replica_set.replicas
+        with pytest.raises(ContainerError):
+            replica_set.remove_replica(victim)
+
+    def test_cannot_remove_last_replica(self):
+        replica_set = ReplicaSet(ModelId("m"), NoOpContainer, num_replicas=1)
+        with pytest.raises(ContainerError):
+            replica_set.remove_replica(replica_set.replicas[0])
+
+    def test_replace_replica_builds_fresh_container_same_id(self):
+        async def scenario():
+            replica_set = ReplicaSet(ModelId("m"), NoOpContainer, num_replicas=2)
+            await replica_set.start()
+            old = replica_set.replicas[0]
+            fresh = await replica_set.replace_replica(old)
+            assert fresh.replica_id == old.replica_id
+            assert fresh is not old
+            assert fresh.container is not old.container
+            assert old.started is False
+            await fresh.start()
+            response = await fresh.predict_batch([np.zeros(1)])
+            assert response.ok
+            await replica_set.stop()
+
+        run_async(scenario())
+
+    def test_ids_stay_unique_after_remove_then_add(self):
+        replica_set = ReplicaSet(ModelId("m"), NoOpContainer, num_replicas=3)
+        replica_set.remove_replica(replica_set.replicas[-1])
+        added = replica_set.add_replica()
+        ids = [r.replica_id for r in replica_set]
+        assert len(ids) == len(set(ids))
+        assert added.replica_id == 3
+
+
+class TestHealthProbe:
+    def test_healthy_replica_probes_true(self):
+        async def scenario():
+            replica = ContainerReplica(ModelId("m"), 0, NoOpContainer())
+            await replica.start()
+            assert await replica.check_health(timeout_s=1.0) is True
+            await replica.stop()
+
+        run_async(scenario())
+
+    def test_unstarted_replica_probes_false(self):
+        async def scenario():
+            replica = ContainerReplica(ModelId("m"), 0, NoOpContainer())
+            assert await replica.check_health(timeout_s=1.0) is False
+
+        run_async(scenario())
+
+    def test_unhealthy_container_probes_false_even_though_transport_lives(self):
+        async def scenario():
+            from repro.containers.chaos import KillableContainer
+
+            container = KillableContainer(output=1)
+            replica = ContainerReplica(ModelId("m"), 0, container)
+            await replica.start()
+            assert await replica.check_health(timeout_s=1.0) is True
+            container.kill()
+            assert await replica.check_health(timeout_s=1.0) is False
+            container.revive()
+            assert await replica.check_health(timeout_s=1.0) is True
+            await replica.stop()
+
+        run_async(scenario())
