@@ -28,6 +28,9 @@ and get a working serving system.  Sub-packages:
     Model selection policies: Exp3, Exp4, ensembles, contextualization (§5).
 ``repro.state``
     In-memory key-value store used for externalized selection state.
+``repro.routing``
+    The routing layer: traffic-split tables, deterministic weighted arm
+    assignment, canary rollout lifecycle and metrics-driven promotion.
 ``repro.management``
     The management plane: versioned model registry, live rollout/rollback,
     runtime replica scaling and health-driven replica recovery.
@@ -49,6 +52,7 @@ from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
 from repro.core.types import Feedback, Prediction, Query
 from repro.containers.base import ModelContainer
 from repro.management.frontend import ManagementFrontend
+from repro.routing.split import TrafficSplit
 from repro.selection.policy import SelectionPolicy
 
 __version__ = "1.0.0"
@@ -59,6 +63,7 @@ __all__ = [
     "BatchingConfig",
     "ModelDeployment",
     "ManagementFrontend",
+    "TrafficSplit",
     "Query",
     "Prediction",
     "Feedback",

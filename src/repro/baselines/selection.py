@@ -18,7 +18,7 @@ the Figure 8 bench can replay the identical feedback stream through them.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,6 @@ used by the TensorFlow-Serving-like comparator.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.config import BatchingConfig
 from repro.core.exceptions import ConfigurationError

@@ -12,7 +12,7 @@ prediction cache.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, List, Optional
+from typing import Any, Dict, Hashable, List
 
 from repro.core.exceptions import CacheError
 

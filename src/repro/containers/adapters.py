@@ -8,7 +8,7 @@ prediction, exactly the shape of the paper's <25-line framework bindings.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, List, Sequence
 
 import numpy as np
 

@@ -10,7 +10,6 @@ replicas of one model.
 
 from __future__ import annotations
 
-import asyncio
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.containers.base import ModelContainer

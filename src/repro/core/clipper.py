@@ -26,15 +26,18 @@ on a private event loop for scripts and tests that are not async.
 Runtime mutability (the management plane's half of the paper's architecture)
 is layered on top without touching the hot path: every deployed *version* of
 a model keeps its own serving machinery (replica set, batching queue,
-dispatchers), and an **active-version map** decides which version of each
-model name receives traffic.  ``deploy_model`` works on a running instance
-(a second version of an existing name comes up *staged* — warm but not
-serving), ``rollout``/``rollback`` atomically swap the active version,
-``set_num_replicas`` grows or shrinks a live replica set while the shared
-batching queue keeps in-flight queries, and ``undeploy_model`` drains a
-version's queue before tearing it down.  Selection-policy state is
-namespaced by the serving set, so the state learned for a version survives
-its retirement and is picked up again on rollback.
+dispatchers), while **which version serves each query** is owned entirely by
+the :class:`~repro.routing.table.RoutingTable` — an immutable, atomically
+swapped map from model name to a weighted
+:class:`~repro.routing.split.TrafficSplit` over versions.  Stable serving is
+the degenerate 100/0 split; a **canary rollout** (:meth:`Clipper.start_canary`
+/ :meth:`adjust_canary` / :meth:`promote` / :meth:`abort_canary`) shifts a
+deterministic, seeded fraction of routing keys onto a staged version while
+per-arm latency/error metrics accumulate for the promotion decision.
+``rollout``/``rollback`` are thin wrappers over the same verbs.
+Selection-policy state is namespaced by the routed serving set, so the state
+learned for a version survives its retirement and is picked up again on
+rollback; namespaces no routing configuration can reach any more are pruned.
 """
 
 from __future__ import annotations
@@ -56,6 +59,8 @@ from repro.core.exceptions import (
 )
 from repro.core.metrics import MetricsRegistry
 from repro.core.types import Feedback, ModelId, Prediction, Query
+from repro.routing.split import TrafficSplit
+from repro.routing.table import RoutePlan, RoutingTable, parse_namespace_keys
 from repro.selection.manager import SelectionStateManager
 from repro.selection.policy import make_policy
 from repro.state.kvstore import KeyValueStore
@@ -103,14 +108,20 @@ class Clipper:
         )
         self.state_store = state_store or KeyValueStore()
         self._models: Dict[str, _DeployedModel] = {}
-        # Which version of each model name serves traffic ("svm" -> "svm:2"),
-        # in deployment order, and the previously-active version kept for
-        # rollback.  Versions deployed while another is active stay staged
-        # (machinery warm, no traffic) until rollout.
-        self._active: Dict[str, str] = {}
-        self._previous: Dict[str, str] = {}
+        # All version-resolution lives in the routing table: which version of
+        # each model name serves traffic (possibly split across a canary),
+        # and the previously-active version kept for rollback.  Versions
+        # deployed while another is active stay staged (machinery warm, no
+        # traffic) until a rollout or canary routes to them.
+        self.routing = RoutingTable(
+            metrics=self.metrics,
+            seed=self.config.routing_seed,
+            scope=self.config.app_name,
+        )
         self._admin_lock = asyncio.Lock()
-        self._selection: Optional[SelectionStateManager] = None
+        # One selection-state manager per routed serving-set combination,
+        # keyed by the routing plan's namespace and built lazily.
+        self._selection_managers: Dict[str, SelectionStateManager] = {}
         self._started = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         # Metric handles are resolved once here instead of per call: registry
@@ -152,13 +163,14 @@ class Clipper:
         if activate is None:
             # Default: the first version of a name serves immediately; later
             # versions come up staged and wait for an explicit rollout.
-            activate = deployment.name not in self._active
+            activate = self.routing.active_key(deployment.name) is None
         if activate:
-            previous = self._active.get(deployment.name)
-            if previous is not None:
-                self._previous[deployment.name] = previous
-            self._active[deployment.name] = key
-            self._rebuild_selection()
+            had_canary = self.routing.canary_key(deployment.name) is not None
+            self.routing.activate(deployment.name, key)
+            if had_canary:
+                # The forced activation discarded an in-flight canary; its
+                # mixed serving-set state is unreachable now.
+                self._prune_selection_state()
         return record
 
     def _make_dispatcher(
@@ -184,8 +196,9 @@ class Clipper:
         May be called before or after :meth:`start`; versions deployed after
         start are brought up immediately.  The first version of a model name
         begins serving at once; a later version is *staged* (warm but not
-        serving) until :meth:`rollout` activates it, unless ``activate=True``
-        forces an immediate switch.  Returns the assigned :class:`ModelId`.
+        serving) until :meth:`rollout` or a canary routes traffic to it,
+        unless ``activate=True`` forces an immediate switch.  Returns the
+        assigned :class:`ModelId`.
         """
         record = self._register_model(deployment, activate)
         if self._started:
@@ -221,28 +234,32 @@ class Clipper:
         """Remove a model version from a (possibly running) instance.
 
         ``model`` is a ``"name:version"`` key, or a bare name resolving to
-        its active version.  The version is first removed from the serving
-        set (no new queries route to it), then its batching queue is closed
+        its active version.  The version is first removed from the routing
+        table (no new queries route to it — undeploying an in-flight canary
+        arm aborts that rollout first), then its batching queue is closed
         and drained by its own dispatchers — in-flight queries complete —
         before replicas are stopped.  The last serving model of a started
         instance cannot be undeployed.
         """
         async with self._admin_lock:
-            key = self._resolve_model_key(model)
+            key = self.routing.resolve_key(model, self._models)
             record = self._models[key]
             name = record.model_id.name
-            if self._active.get(name) == key:
-                remaining = [k for n, k in self._active.items() if n != name]
+            if self.routing.canary_key(name) == key:
+                # Undeploying the canary arm is an implicit abort: traffic
+                # snaps back to the stable arm before the teardown.
+                self.routing.abort(name)
+            if self.routing.active_key(name) == key:
+                remaining = [n for n in self.routing.names() if n != name]
                 if self._started and not remaining:
                     raise DeploymentError(
                         f"cannot undeploy '{key}': it is the last serving model"
                     )
-                del self._active[name]
-                self._previous.pop(name, None)
-                self._rebuild_selection()
-            elif self._previous.get(name) == key:
-                del self._previous[name]
+                self.routing.forget(name)
+            elif self.routing.previous_key(name) == key:
+                self.routing.drop_previous(name)
             del self._models[key]
+            self._prune_selection_state()
             if self._started:
                 record.queue.close()
                 await self._drain_queue(record)
@@ -264,7 +281,7 @@ class Clipper:
         if num_replicas < 1:
             raise DeploymentError("num_replicas must be >= 1")
         async with self._admin_lock:
-            key = self._resolve_model_key(model)
+            key = self.routing.resolve_key(model, self._models)
             record = self._models[key]
             while len(record.replica_set) < num_replicas:
                 replica = record.replica_set.add_replica()
@@ -283,16 +300,65 @@ class Clipper:
                 await replica.stop()
             return len(record.replica_set)
 
+    # -- traffic shifting (canary rollouts) -----------------------------------
+
+    def start_canary(
+        self, model_name: str, version: int, weight: float
+    ) -> TrafficSplit:
+        """Begin a weighted canary rollout of ``version`` for ``model_name``.
+
+        ``weight`` of the name's traffic (by deterministic, seeded routing-key
+        hash — the same key always lands on the same arm) shifts to the
+        canary version, which must already be deployed (normally staged via
+        :meth:`deploy_model`).  Per-arm latency/error metrics accumulate
+        under ``routing.arm.<key>.*`` for both arms while the canary is in
+        flight, feeding :meth:`promote` / :meth:`abort_canary` decisions —
+        manual or via :class:`~repro.routing.controller.CanaryController`.
+        """
+        key = str(ModelId(model_name, version))
+        if key not in self._models:
+            raise DeploymentError(
+                f"cannot canary '{key}': that version is not deployed"
+            )
+        return self.routing.start_canary(model_name, key, weight)
+
+    def adjust_canary(self, model_name: str, weight: float) -> TrafficSplit:
+        """Change the traffic weight of an in-flight canary (atomic swap)."""
+        return self.routing.adjust_canary(model_name, weight)
+
+    def promote(self, model_name: str) -> ModelId:
+        """Make the in-flight canary the sole serving version.
+
+        The displaced stable version is retained, staged, as the rollback
+        target; selection state learned by the canary's serving-set
+        combination carries straight over (same namespace).  Selection
+        namespaces no routing configuration can reach any more are pruned.
+        """
+        promoted = self.routing.promote(model_name)
+        self._prune_selection_state()
+        return self._models[promoted].model_id
+
+    def abort_canary(self, model_name: str) -> ModelId:
+        """Discard the in-flight canary; all traffic returns to the stable arm.
+
+        Returns the restored stable version's id.  The canary version stays
+        deployed (staged) but its mixed-serving-set selection state is
+        pruned — a future canary of the same version starts fresh.
+        """
+        self.routing.abort(model_name)
+        self._prune_selection_state()
+        return self._models[self.routing.active_key(model_name)].model_id
+
     def rollout(self, model_name: str, version: int) -> ModelId:
         """Atomically make ``version`` of ``model_name`` the serving version.
 
-        The target version must already be deployed (normally staged via
-        :meth:`deploy_model`).  The swap is a synchronous pointer update on
-        the event loop — queries that already selected the old version keep
-        their in-flight futures (its machinery stays up), and every query
-        selected afterwards routes to the new version.  The old version is
-        retained, staged, with its selection state intact for
-        :meth:`rollback`.
+        A thin wrapper over the canary verbs: an instant rollout is a
+        full-weight canary promoted immediately (one atomic table swap per
+        step — queries that already selected the old version keep their
+        in-flight futures; every query routed afterwards lands on the new
+        version).  The old version is retained, staged, with its selection
+        state intact for :meth:`rollback`.  Any other in-flight canary for
+        the name is aborted first.
         """
         key = str(ModelId(model_name, version))
         record = self._models.get(key)
@@ -300,18 +366,28 @@ class Clipper:
             raise DeploymentError(
                 f"cannot roll out '{key}': that version is not deployed"
             )
-        current = self._active.get(model_name)
+        current = self.routing.active_key(model_name)
         if current == key:
             return record.model_id
-        if current is not None:
-            self._previous[model_name] = current
-        self._active[model_name] = key
-        self._rebuild_selection()
-        return record.model_id
+        if current is None:
+            self.routing.activate(model_name, key)
+            return record.model_id
+        canary = self.routing.canary_key(model_name)
+        if canary == key:
+            return self.promote(model_name)
+        if canary is not None:
+            self.routing.abort(model_name)
+        self.routing.start_canary(model_name, key, weight=1.0)
+        return self.promote(model_name)
 
     def rollback(self, model_name: str) -> ModelId:
-        """Atomically swap ``model_name`` back to its previously serving version."""
-        previous = self._previous.get(model_name)
+        """Atomically swap ``model_name`` back to its previously serving version.
+
+        A thin wrapper over the routing layer: any in-flight canary is
+        aborted, then the stable arm swaps back to the rollback target
+        (whose selection state was retained).
+        """
+        previous = self.routing.previous_key(model_name)
         if previous is None:
             raise DeploymentError(
                 f"no previous version of '{model_name}' to roll back to"
@@ -320,33 +396,12 @@ class Clipper:
             raise DeploymentError(
                 f"previous version '{previous}' has been undeployed"
             )
-        current = self._active.get(model_name)
-        self._active[model_name] = previous
-        if current is not None:
-            self._previous[model_name] = current
-        else:
-            del self._previous[model_name]
-        self._rebuild_selection()
-        return self._models[previous].model_id
-
-    def _resolve_model_key(self, model: str) -> str:
-        """Map a ``"name:version"`` key or bare name to a deployed key."""
-        if model in self._models:
-            return model
-        if model in self._active:
-            return self._active[model]
-        matches = [
-            key
-            for key, record in self._models.items()
-            if record.model_id.name == model
-        ]
-        if len(matches) == 1:
-            return matches[0]
-        if matches:
-            raise DeploymentError(
-                f"model name '{model}' is ambiguous between versions {sorted(matches)}"
-            )
-        raise DeploymentError(f"model '{model}' is not deployed")
+        if self.routing.canary_key(model_name) is not None:
+            self.routing.abort(model_name)
+        restored = self.routing.rollback(model_name)
+        # The aborted canary arm (if any) is unreachable now; drop its state.
+        self._prune_selection_state()
+        return self._models[restored].model_id
 
     @staticmethod
     async def _drain_queue(record: _DeployedModel, timeout_s: float = 10.0) -> None:
@@ -358,24 +413,17 @@ class Clipper:
         """
         await record.queue.wait_empty(timeout_s=timeout_s)
 
-    def _serving_keys(self) -> List[str]:
-        """Model keys currently receiving traffic, in deployment order."""
-        return list(self._active.values())
-
-    def _rebuild_selection(self) -> None:
-        self._selection = None
-
     def deployed_models(self) -> List[ModelId]:
         """Ids of every deployed model version (serving and staged)."""
         return [record.model_id for record in self._models.values()]
 
     def serving_models(self) -> List[ModelId]:
-        """Ids of the versions currently receiving traffic."""
-        return [self._models[key].model_id for key in self._serving_keys()]
+        """Ids of the versions currently receiving traffic (all split arms)."""
+        return [self._models[key].model_id for key in self.routing.serving_keys()]
 
     def active_version(self, model_name: str) -> Optional[ModelId]:
-        """The serving version of ``model_name`` (None when not serving)."""
-        key = self._active.get(model_name)
+        """The stable serving version of ``model_name`` (None when not serving)."""
+        key = self.routing.active_key(model_name)
         return self._models[key].model_id if key is not None else None
 
     def model_versions(self, model_name: str) -> List[ModelId]:
@@ -392,36 +440,67 @@ class Clipper:
 
     def model_record(self, model: str) -> _DeployedModel:
         """The serving record for one model key or bare name."""
-        return self._models[self._resolve_model_key(model)]
+        return self._models[self.routing.resolve_key(model, self._models)]
 
     @property
     def is_started(self) -> bool:
         return self._started
 
-    @property
-    def selection_manager(self) -> SelectionStateManager:
-        """The selection-state manager (built lazily over the serving models).
+    # -- selection state ------------------------------------------------------
 
-        The store namespace is derived from the serving set, so each
-        combination of serving versions keeps its own policy state: a
-        rollout starts the new version's state fresh while the retired
-        version's state survives in its old namespace, and a rollback picks
-        that state right back up.
+    def _selection_manager_for(self, plan: RoutePlan) -> SelectionStateManager:
+        """The (lazily built) selection-state manager for one routing plan.
+
+        The store namespace comes from the plan's serving-set combination, so
+        each combination keeps its own policy state: a rollout starts the new
+        version's state fresh while the retired version's state survives in
+        its old namespace, a rollback picks that state right back up, and a
+        canary's mixed combination learns independently of the stable one.
         """
-        if self._selection is None:
-            serving = self._serving_keys()
-            if not serving:
+        manager = self._selection_managers.get(plan.namespace)
+        if manager is None:
+            if not plan.serving_keys:
                 raise ClipperError("no models are deployed")
             policy = make_policy(
                 self.config.selection_policy, **self.config.selection_policy_kwargs
             )
-            self._selection = SelectionStateManager(
+            manager = SelectionStateManager(
                 policy=policy,
-                model_ids=[self._models[key].model_id for key in serving],
+                model_ids=[self._models[key].model_id for key in plan.serving_keys],
                 store=self.state_store,
-                namespace="selection-state@" + "|".join(serving),
+                namespace=plan.namespace,
             )
-        return self._selection
+            self._selection_managers[plan.namespace] = manager
+        return manager
+
+    @property
+    def selection_manager(self) -> SelectionStateManager:
+        """The selection-state manager of the all-stable-arms serving set."""
+        return self._selection_manager_for(self.routing.default_plan())
+
+    def _prune_selection_state(self) -> None:
+        """Drop selection state no routing configuration can reach any more.
+
+        Called whenever routing retires a configuration (promote, abort,
+        rollback, undeploy, forced activation).  A namespace survives when every
+        model key it references is still deployed *and* still reachable — a
+        current split arm or a rollback target — which preserves exactly the
+        state :meth:`rollback` may need while retiring everything older.
+        Selection namespaces are scoped by application name, so instances
+        sharing one state store never prune each other's state.
+        """
+        reachable = self.routing.reachable_keys()
+        for namespace in self.state_store.namespaces():
+            keys = parse_namespace_keys(namespace, self.routing.scope)
+            if not keys:
+                continue
+            if all(key in reachable and key in self._models for key in keys):
+                continue
+            manager = self._selection_managers.pop(namespace, None)
+            if manager is not None:
+                manager.prune(())
+            else:
+                self.state_store.clear(namespace)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -456,9 +535,12 @@ class Clipper:
     async def predict(self, query: Query) -> Prediction:
         """Render a prediction for one query.
 
-        The request flows selection → cache → batching queues → containers →
-        combine, with the straggler-mitigation deadline derived from the
-        query's (or application's) latency SLO.
+        The request flows routing → selection → cache → batching queues →
+        containers → combine, with the straggler-mitigation deadline derived
+        from the query's (or application's) latency SLO.  The routing plan
+        pins the query's arm per split (keyed by user id, falling back to
+        the input hash) and carries the per-arm metric handles used to
+        attribute the outcome while a canary is in flight.
         """
         if not self._started:
             raise ClipperError("Clipper is not started")
@@ -467,10 +549,12 @@ class Clipper:
         deadline = start + slo_ms / 1000.0
 
         # The input is hashed exactly once per query; the digest is reused
-        # for every per-model cache fetch/insert, carried by the pending
-        # queue items, and used by the straggler late-completion callback.
+        # for the routing key, every per-model cache fetch/insert, the
+        # pending queue items, and the straggler late-completion callback.
         input_hash = query.input_hash()
-        selected = self.selection_manager.select(query.input, context=query.user_id)
+        plan = self.routing.plan_for(query.user_id or input_hash)
+        selection = self._selection_manager_for(plan)
+        selected = selection.select(query.input, context=query.user_id)
         pending: Dict[str, asyncio.Future] = {}
         predictions: Dict[str, Any] = {}
         cache_hits = 0
@@ -498,6 +582,13 @@ class Clipper:
 
         latency_ms = (time.monotonic() - start) * 1000.0
         missing = tuple(key for key in selected if key not in predictions)
+        if plan.tracked_arms:
+            # Canary in flight: attribute this query's outcome to the split
+            # arm(s) that served it, through handles resolved at table-swap
+            # time (zero registry lookups here).
+            for arm_key, arm in plan.tracked_arms:
+                if arm_key in selected:
+                    arm.observe(latency_ms, ok=arm_key in predictions)
 
         if not predictions:
             if self.config.default_output is not None:
@@ -507,7 +598,7 @@ class Clipper:
                 )
             raise PredictionTimeoutError(query.query_id, slo_ms)
 
-        output, confidence = self.selection_manager.combine(
+        output, confidence = selection.combine(
             query.input, predictions, context=query.user_id
         )
         default_used = False
@@ -629,17 +720,22 @@ class Clipper:
         The selection layer needs each model's prediction for the feedback
         input.  Cached predictions are joined directly; for cache misses the
         models are (re-)evaluated through the normal batching path, which is
-        exactly the work the prediction cache saves (§4.2).
+        exactly the work the prediction cache saves (§4.2).  The feedback
+        routes through the same plan as the queries it describes (same
+        routing key → same split arm), so canary arms learn only from their
+        own traffic.
         """
         if not self._started:
             raise ClipperError("Clipper is not started")
         input_hash = feedback.input_hash()
+        # Snapshot the routing plan: live management ops may swap the table
+        # while this coroutine awaits, and staged/retired versions should
+        # not be evaluated for feedback.
+        plan = self.routing.plan_for(feedback.user_id or input_hash)
+        selection = self._selection_manager_for(plan)
         predictions: Dict[str, Any] = {}
         pending: Dict[str, asyncio.Future] = {}
-        # Snapshot the serving set: live management ops may mutate it while
-        # this coroutine awaits, and staged/retired versions should not be
-        # evaluated for feedback.
-        for model_key in self._serving_keys():
+        for model_key in plan.serving_keys:
             cached = self.cache.fetch_by_hash(model_key, input_hash)
             if cached is not None:
                 predictions[model_key] = cached
@@ -658,7 +754,7 @@ class Clipper:
                     output = future.result()
                     predictions[model_key] = output
                     self.cache.put_by_hash(model_key, input_hash, output)
-        self.selection_manager.observe(
+        selection.observe(
             feedback.input, feedback.label, predictions, context=feedback.user_id
         )
         self._feedback_counter.increment()

@@ -145,6 +145,11 @@ class ClipperConfig:
     slo_fraction_for_batching:
         Fraction of the SLO budgeted to a single batch evaluation; the rest
         covers queueing, RPC and combination overhead.
+    routing_seed:
+        Seed mixed into the routing layer's traffic-split assignment hash.
+        Two instances with the same seed split the same key population
+        identically; changing the seed re-partitions which routing keys land
+        on a canary arm.
     """
 
     app_name: str = "default-app"
@@ -157,6 +162,7 @@ class ClipperConfig:
     default_output: Optional[object] = None
     confidence_threshold: float = 0.0
     slo_fraction_for_batching: float = 1.0
+    routing_seed: int = 0
     seed: Optional[int] = None
 
     def __post_init__(self) -> None:

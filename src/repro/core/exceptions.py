@@ -60,3 +60,7 @@ class StateStoreError(ClipperError):
 
 class ManagementError(ClipperError):
     """Raised by the management plane (registry conflicts, invalid lifecycle ops)."""
+
+
+class RoutingError(ClipperError):
+    """Raised by the routing layer (invalid splits, canary lifecycle misuse)."""

@@ -15,7 +15,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Dict, Iterable, List, Optional
+from typing import Deque, Dict, Iterable, List
 
 import numpy as np
 
@@ -135,6 +135,44 @@ class Histogram:
             self._count = 0
 
 
+class ArmMetrics:
+    """Cached metric handles attributing traffic to one serving arm.
+
+    The routing layer resolves one of these per traffic-split arm when a
+    split is installed, so the per-query attribution on the hot path is two
+    counter increments and one histogram observation against pre-resolved
+    handles — no registry lookups.  The derived readings (:meth:`error_rate`,
+    :meth:`p99`) are what the canary controller compares between arms.
+    """
+
+    __slots__ = ("prefix", "requests", "errors", "latency")
+
+    def __init__(self, registry: "MetricsRegistry", prefix: str) -> None:
+        self.prefix = prefix
+        self.requests = registry.counter(f"{prefix}.requests")
+        self.errors = registry.counter(f"{prefix}.errors")
+        self.latency = registry.histogram(f"{prefix}.latency_ms")
+
+    def observe(self, latency_ms: float, ok: bool = True) -> None:
+        """Attribute one query served by this arm."""
+        self.requests.increment()
+        if ok:
+            self.latency.observe(latency_ms)
+        else:
+            self.errors.increment()
+
+    def error_rate(self) -> float:
+        """Fraction of attributed queries that failed (0.0 when unobserved)."""
+        total = self.requests.value
+        if total <= 0:
+            return 0.0
+        return self.errors.value / total
+
+    def p99(self) -> float:
+        """P99 latency of the arm's successful queries (NaN when unobserved)."""
+        return self.latency.p99()
+
+
 @dataclass
 class MetricsSnapshot:
     """Immutable snapshot of every metric in a registry."""
@@ -201,6 +239,10 @@ class MetricsRegistry:
             if name not in self._histograms:
                 self._histograms[name] = Histogram(name, window_size)
             return self._histograms[name]
+
+    def arm(self, prefix: str) -> ArmMetrics:
+        """Resolve the request/error/latency handle bundle for one arm."""
+        return ArmMetrics(self, prefix)
 
     def snapshot(self) -> MetricsSnapshot:
         """Capture the current value of every registered metric."""

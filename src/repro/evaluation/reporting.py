@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Sequence
+from typing import Any, Dict, Sequence
 
 
 def format_table(rows: Sequence[Dict[str, Any]], title: str = "") -> str:

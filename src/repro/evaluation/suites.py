@@ -9,7 +9,7 @@ the benchmark targets thin and guarantees the same calibration everywhere.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 import numpy as np
 

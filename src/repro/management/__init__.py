@@ -11,7 +11,14 @@ half of Clipper's architecture that mutates a running serving deployment:
   backoff.
 * :class:`~repro.management.frontend.ManagementFrontend` — the operator
   surface mirroring the query frontend: deploy/undeploy, replica scaling,
-  rollout/rollback, health and registry introspection per application.
+  rollout/rollback, weighted canary rollouts (start/adjust/promote/abort,
+  recorded as traffic-split records in the registry), health and registry
+  introspection per application.
+* :class:`~repro.routing.controller.CanaryController` (re-exported from the
+  routing layer) — one per managed application: watches per-arm
+  error-rate/p99 deltas and the health monitor's quarantine signal to
+  auto-promote or auto-abort in-flight canaries through the frontend's
+  registry-recording verbs.
 """
 
 from repro.management.frontend import ManagementFrontend
@@ -20,6 +27,7 @@ from repro.management.records import (
     REPLICA_HEALTHY,
     REPLICA_QUARANTINED,
     REPLICA_RECOVERING,
+    VERSION_CANARY,
     VERSION_RETIRED,
     VERSION_SERVING,
     VERSION_STAGED,
@@ -27,17 +35,20 @@ from repro.management.records import (
     ReplicaHealth,
 )
 from repro.management.registry import ModelRegistry
+from repro.routing.controller import CanaryController
 
 __all__ = [
     "ManagementFrontend",
     "HealthMonitor",
     "ModelRegistry",
+    "CanaryController",
     "ReplicaHealth",
     "REPLICA_HEALTHY",
     "REPLICA_QUARANTINED",
     "REPLICA_RECOVERING",
     "VERSION_SERVING",
     "VERSION_STAGED",
+    "VERSION_CANARY",
     "VERSION_RETIRED",
     "VERSION_UNDEPLOYED",
 ]

@@ -15,16 +15,24 @@ It is the single public surface for examples and tests::
 
     mgmt = ManagementFrontend()
     mgmt.register_application(clipper)
-    await mgmt.start()                       # serving + health monitoring up
+    await mgmt.start()                       # serving + health + canary control up
     await mgmt.deploy_model("app", ModelDeployment("svm", factory, version=2))
-    await mgmt.rollout("app", "svm", 2)      # v2 takes traffic atomically
+    await mgmt.start_canary("app", "svm", 2, weight=0.1)   # 10% of keys on v2
+    await mgmt.adjust_canary("app", "svm", weight=0.5)     # ramp to 50%
+    await mgmt.promote("app", "svm")         # ... or let the controller decide
     await mgmt.set_num_replicas("app", "svm", 3)
     await mgmt.rollback("app", "svm")        # v1 takes traffic back
     await mgmt.stop()
+
+Each application also gets a
+:class:`~repro.routing.controller.CanaryController` (unless disabled) whose
+promote/abort actions route back through this frontend, so metrics-driven
+decisions update the durable registry exactly like operator-issued ones.
 """
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Any, Dict, List, Optional
 
 from repro.core.clipper import Clipper
@@ -35,6 +43,8 @@ from repro.core.types import ModelId
 from repro.management.health import HealthMonitor
 from repro.management.records import ReplicaHealth
 from repro.management.registry import ModelRegistry
+from repro.routing.controller import CanaryController
+from repro.routing.split import TrafficSplit
 from repro.state.kvstore import KeyValueStore
 
 
@@ -47,12 +57,17 @@ class ManagementFrontend:
         registry: Optional[ModelRegistry] = None,
         monitor_health: bool = True,
         health_kwargs: Optional[Dict[str, Any]] = None,
+        manage_canaries: bool = True,
+        canary_kwargs: Optional[Dict[str, Any]] = None,
     ) -> None:
         self.registry = registry or ModelRegistry(store=store)
         self._applications: Dict[str, Clipper] = {}
         self._monitors: Dict[str, HealthMonitor] = {}
+        self._controllers: Dict[str, CanaryController] = {}
         self._monitor_health = monitor_health
         self._health_kwargs = dict(health_kwargs or {})
+        self._manage_canaries = manage_canaries
+        self._canary_kwargs = dict(canary_kwargs or {})
         self._started = False
 
     # -- registration ----------------------------------------------------------
@@ -80,6 +95,16 @@ class ManagementFrontend:
         self._applications[app_name] = clipper
         if self._monitor_health:
             self._monitors[app_name] = HealthMonitor(clipper, **self._health_kwargs)
+        if self._manage_canaries:
+            # The controller's actions route back through this frontend so
+            # auto-promote/auto-abort update the registry like operator ops.
+            self._controllers[app_name] = CanaryController(
+                clipper,
+                health_monitor=self._monitors.get(app_name),
+                promote=partial(self.promote, app_name),
+                abort=partial(self.abort_canary, app_name),
+                **self._canary_kwargs,
+            )
         for record in clipper.model_records():
             model_id = record.model_id
             self.registry.register_model_version(
@@ -122,9 +147,13 @@ class ManagementFrontend:
         try:
             for monitor in self._monitors.values():
                 await monitor.start()
+            for controller in self._controllers.values():
+                await controller.start()
         except BaseException:
             # Applications came up but a monitor did not: unwind both so a
             # failed start leaves nothing running.
+            for controller in self._controllers.values():
+                await controller.stop()
             for monitor in self._monitors.values():
                 await monitor.stop()
             try:
@@ -135,7 +164,9 @@ class ManagementFrontend:
         self._started = True
 
     async def stop(self) -> None:
-        """Stop health monitors and applications, collecting per-app errors."""
+        """Stop canary controllers, health monitors and applications."""
+        for controller in self._controllers.values():
+            await controller.stop()
         for monitor in self._monitors.values():
             await monitor.stop()
         self._started = False
@@ -221,6 +252,101 @@ class ManagementFrontend:
             clipper, app_name, model_name, lambda: clipper.rollback(model_name)
         )
 
+    # -- canary rollouts -------------------------------------------------------
+
+    async def start_canary(
+        self, app_name: str, model_name: str, version: int, weight: float
+    ) -> TrafficSplit:
+        """Begin a weighted canary rollout and record the split durably.
+
+        ``weight`` of the model's traffic (by deterministic routing-key
+        hash) shifts onto ``version``; the application's canary controller
+        (when enabled) will auto-promote or auto-abort it from the per-arm
+        metrics and the health monitor's quarantine signal.
+        """
+        clipper = self._lookup(app_name)
+        self._require_registered(app_name, ModelId(model_name, version))
+        split = clipper.start_canary(model_name, version, weight)
+        try:
+            self.registry.set_traffic_split(app_name, model_name, split.to_record())
+        except ManagementError:
+            # The registry refused the record: snap traffic back so the
+            # running configuration and the durable record never disagree.
+            try:
+                clipper.abort_canary(model_name)
+            except Exception:
+                pass  # surface the registry rejection, not the unwind
+            raise
+        return split
+
+    async def adjust_canary(
+        self, app_name: str, model_name: str, weight: float
+    ) -> TrafficSplit:
+        """Change an in-flight canary's traffic weight and re-record it."""
+        clipper = self._lookup(app_name)
+        before = clipper.routing.split_for(model_name)
+        split = clipper.adjust_canary(model_name, weight)
+        try:
+            self.registry.set_traffic_split(app_name, model_name, split.to_record())
+        except ManagementError:
+            if before is not None and before.canary is not None:
+                try:
+                    clipper.adjust_canary(model_name, before.canary_weight)
+                except Exception:
+                    pass  # surface the registry rejection, not the unwind
+            raise
+        return split
+
+    async def promote(self, app_name: str, model_name: str) -> ModelId:
+        """Make the in-flight canary the serving version; clear the split record."""
+        clipper = self._lookup(app_name)
+        before_split = clipper.routing.split_for(model_name)
+        before_previous = clipper.routing.previous_key(model_name)
+        model_id = clipper.promote(model_name)
+        try:
+            self.registry.clear_traffic_split(
+                app_name, model_name, promote_to=model_id.version
+            )
+        except ManagementError:
+            # Reinstall the exact pre-promote configuration (in-flight split
+            # and rollback pointer) so traffic matches the durable record.
+            try:
+                clipper.routing.restore(model_name, before_split, before_previous)
+            except Exception:
+                pass  # surface the registry rejection, not the unwind
+            raise
+        return model_id
+
+    async def abort_canary(self, app_name: str, model_name: str) -> ModelId:
+        """Abort the in-flight canary; traffic returns to the stable version."""
+        clipper = self._lookup(app_name)
+        before_split = clipper.routing.split_for(model_name)
+        before_previous = clipper.routing.previous_key(model_name)
+        model_id = clipper.abort_canary(model_name)
+        try:
+            self.registry.clear_traffic_split(app_name, model_name)
+        except ManagementError:
+            # The registry still records the split as in flight; reinstall it
+            # (the canary's mixed selection state restarts fresh).
+            try:
+                clipper.routing.restore(model_name, before_split, before_previous)
+            except Exception:
+                pass  # surface the registry rejection, not the unwind
+            raise
+        return model_id
+
+    def traffic_split(
+        self, app_name: str, model_name: str
+    ) -> Optional[Dict[str, Any]]:
+        """The durably recorded in-flight split of one model (None when stable)."""
+        self._lookup(app_name)
+        return self.registry.traffic_split(app_name, model_name)
+
+    def canary_controller(self, app_name: str) -> Optional[CanaryController]:
+        """The application's canary controller (None when management is off)."""
+        self._lookup(app_name)
+        return self._controllers.get(app_name)
+
     def _switch_version(self, clipper, app_name, model_name, switch) -> ModelId:
         """Apply a live version switch and record it, unwinding on refusal."""
         before = clipper.active_version(model_name)
@@ -264,11 +390,13 @@ class ManagementFrontend:
     def describe(self, app_name: str) -> Dict[str, Any]:
         """One-call operational snapshot of an application."""
         clipper = self._lookup(app_name)
+        monitor = self._monitors.get(app_name)
         return {
             "app_name": app_name,
             "started": clipper.is_started,
             "serving": [str(m) for m in clipper.serving_models()],
             "deployed": [str(m) for m in clipper.deployed_models()],
+            "routing": clipper.routing.describe(),
             "replicas": {
                 str(record.model_id): len(record.replica_set)
                 for record in clipper.model_records()
@@ -277,4 +405,5 @@ class ManagementFrontend:
                 name: status.state
                 for name, status in self.replica_health(app_name).items()
             },
+            "unhealthy_models": monitor.unhealthy_model_keys() if monitor else [],
         }

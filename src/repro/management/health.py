@@ -269,6 +269,29 @@ class HealthMonitor:
     def replicas_in_state(self, state: str) -> List[ReplicaHealth]:
         return [s for s in self._statuses.values() if s.state == state]
 
+    def statuses_for(self, model_key: str) -> List[ReplicaHealth]:
+        """Health records of every replica of one model version key."""
+        return [s for s in self._statuses.values() if s.model_key == model_key]
+
+    def quarantines_for(self, model_key: str) -> int:
+        """Total quarantines recorded against one model version's replicas.
+
+        This is the quarantine signal the canary controller compares against
+        its rollout-start baseline: any increase while a canary of this
+        version is in flight aborts the rollout.
+        """
+        return sum(s.quarantines for s in self.statuses_for(model_key))
+
+    def unhealthy_model_keys(self) -> List[str]:
+        """Model version keys with at least one replica not currently healthy."""
+        return sorted(
+            {
+                s.model_key
+                for s in self._statuses.values()
+                if s.state != REPLICA_HEALTHY
+            }
+        )
+
     @property
     def is_running(self) -> bool:
         return self._running

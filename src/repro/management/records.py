@@ -16,6 +16,7 @@ from typing import Any, Dict, Optional
 #: Lifecycle states of one deployed model version.
 VERSION_SERVING = "serving"      # the active version: receives traffic
 VERSION_STAGED = "staged"        # deployed and warm, awaiting rollout
+VERSION_CANARY = "canary"        # serving a weighted slice during a rollout
 VERSION_RETIRED = "retired"      # previously serving; kept warm for rollback
 VERSION_UNDEPLOYED = "undeployed"  # machinery torn down; record kept for history
 

@@ -18,7 +18,14 @@ Stored layout (namespace ``management``)::
     applications            -> {app_name: {"registered_at", "metadata"}}
     models:<app>            -> {model_name: {"active_version": int|None,
                                              "previous_version": int|None,
+                                             "traffic_split": split_record|absent,
                                              "versions": {str(v): version_record}}}
+
+The ``traffic_split`` record (a
+:meth:`repro.routing.split.TrafficSplit.to_record` dict) is present exactly
+while a canary rollout is in flight, so the durable record always names the
+complete routing configuration — the same atomic, inspectable-transition
+discipline the routing table applies in memory.
 
 Version records are immutable deploy metadata (registering the same
 ``(name, version)`` twice is an error); only the lifecycle ``state`` and
@@ -33,6 +40,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.core.exceptions import ManagementError
 from repro.management.records import (
+    VERSION_CANARY,
     VERSION_RETIRED,
     VERSION_SERVING,
     VERSION_STAGED,
@@ -158,14 +166,36 @@ class ModelRegistry:
         self._update(_models_key(app_name), update)
         return self.model(app_name, model_name)
 
-    @staticmethod
-    def _activate(model: Dict, version: int) -> None:
+    @classmethod
+    def _activate(cls, model: Dict, version: int) -> None:
+        # Any activation ends an in-flight rollout: clear the split record
+        # and demote its canary arm in the same swap, so no path (rollout,
+        # rollback, deploy with activate=True, promotion) can leave the
+        # durable record claiming a split that live routing discarded.
+        split_record = model.pop("traffic_split", None)
+        if split_record is not None:
+            cls._demote_canary(model, split_record)
         previous = model["active_version"]
         if previous is not None and previous != version:
             model["previous_version"] = previous
             model["versions"][str(previous)]["state"] = VERSION_RETIRED
         model["active_version"] = version
         model["versions"][str(version)]["state"] = VERSION_SERVING
+
+    @staticmethod
+    def _demote_canary(model: Dict, split_record: Dict[str, Any]) -> None:
+        """Return a split's canary arm to its pre-canary lifecycle state.
+
+        The rollback target keeps its ``retired`` marker (a canary of the
+        previously-serving version is legal); everything else returns to
+        ``staged``.
+        """
+        canary_version = str(split_record.get("canary", "")).rpartition(":")[2]
+        record = model["versions"].get(canary_version)
+        if record is None or record["state"] != VERSION_CANARY:
+            return
+        is_rollback_target = str(model.get("previous_version")) == canary_version
+        record["state"] = VERSION_RETIRED if is_rollback_target else VERSION_STAGED
 
     def set_active_version(
         self, app_name: str, model_name: str, version: int
@@ -231,10 +261,98 @@ class ModelRegistry:
                 model["active_version"] = None
             if model["previous_version"] == version:
                 model["previous_version"] = None
+            # Undeploying either arm of an in-flight split ends the rollout
+            # (the serving engine aborts it in memory); drop the record and
+            # demote a surviving canary arm in the same swap.
+            split_record = model.get("traffic_split")
+            if split_record is not None:
+                arm_versions = {
+                    str(key).rpartition(":")[2] for key, _ in split_record["arms"]
+                }
+                if str(version) in arm_versions:
+                    del model["traffic_split"]
+                    self._demote_canary(model, split_record)
             return models
 
         self._update(_models_key(app_name), update)
         return self.model(app_name, model_name)
+
+    # -- traffic splits (canary rollouts) --------------------------------------
+
+    def set_traffic_split(
+        self, app_name: str, model_name: str, split_record: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Record an in-flight traffic split (start or weight adjustment).
+
+        The canary version named by the record moves to the ``canary``
+        lifecycle state; it must be registered and not undeployed.  The
+        whole update is one compare-and-swap, so concurrent operators never
+        observe a split without its version state (or vice versa).
+        """
+        self._require_app(app_name)
+        canary_key = split_record.get("canary")
+        if canary_key is None:
+            raise ManagementError(
+                f"traffic-split record for '{model_name}' names no canary arm"
+            )
+        canary_version = str(canary_key).rpartition(":")[2]
+
+        def update(models: Dict) -> Dict:
+            model = self._require_model(models, model_name)
+            record = model["versions"].get(canary_version)
+            if record is None:
+                raise ManagementError(
+                    f"canary version {canary_version} of model '{model_name}' "
+                    "is not registered"
+                )
+            if record["state"] == VERSION_UNDEPLOYED:
+                raise ManagementError(
+                    f"canary version {canary_version} of model '{model_name}' "
+                    "has been undeployed"
+                )
+            model["traffic_split"] = copy.deepcopy(split_record)
+            record["state"] = VERSION_CANARY
+            return models
+
+        self._update(_models_key(app_name), update)
+        return self.model(app_name, model_name)
+
+    def clear_traffic_split(
+        self, app_name: str, model_name: str, promote_to: Optional[int] = None
+    ) -> Dict[str, Any]:
+        """Record the end of a rollout: promotion or abort, atomically.
+
+        With ``promote_to`` the named version becomes the active one (the
+        displaced version retiring as the rollback target); without it the
+        abort returns the canary version to ``staged``.  Either way the
+        split record is removed in the same compare-and-swap.
+        """
+        self._require_app(app_name)
+
+        def update(models: Dict) -> Dict:
+            model = self._require_model(models, model_name)
+            split_record = model.pop("traffic_split", None)
+            if promote_to is not None:
+                vkey = str(promote_to)
+                if vkey not in model["versions"]:
+                    raise ManagementError(
+                        f"version {promote_to} of model '{model_name}' is not registered"
+                    )
+                if model["versions"][vkey]["state"] == VERSION_UNDEPLOYED:
+                    raise ManagementError(
+                        f"version {promote_to} of model '{model_name}' has been undeployed"
+                    )
+                self._activate(model, promote_to)
+            elif split_record is not None:
+                self._demote_canary(model, split_record)
+            return models
+
+        self._update(_models_key(app_name), update)
+        return self.model(app_name, model_name)
+
+    def traffic_split(self, app_name: str, model_name: str) -> Optional[Dict[str, Any]]:
+        """The recorded in-flight split of one model (None when stable)."""
+        return self.model(app_name, model_name).get("traffic_split")
 
     @staticmethod
     def _require_model(models: Dict, model_name: str) -> Dict:

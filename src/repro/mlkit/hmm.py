@@ -18,7 +18,7 @@ sequence collapsed to a transcription class.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 

@@ -11,7 +11,7 @@ the ensemble-accuracy and serving-comparison experiments depend on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.mlkit.mlp import MLPClassifier
 

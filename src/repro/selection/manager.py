@@ -11,7 +11,7 @@ arrives.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.types import ModelId
 from repro.selection.policy import SelectionPolicy, SelectionState
@@ -64,6 +64,22 @@ class SelectionStateManager:
             self.store.clear(self.namespace)
         else:
             self.store.delete(self.namespace, self._context_key(context))
+
+    def prune(self, keep_contexts: Iterable[Optional[str]]) -> List[str]:
+        """Drop every instantiated context state except ``keep_contexts``.
+
+        Contexts accumulate forever otherwise — one state per user/session
+        that ever issued a query, long after those sessions ended.  The
+        routing layer calls this when it retires a serving-set namespace
+        (``prune(())`` clears it entirely); applications can call it with
+        their live session ids to garbage-collect per-user state.  Returns
+        the context keys that were dropped.
+        """
+        keep = {self._context_key(context) for context in keep_contexts}
+        dropped = [key for key in self.store.keys(self.namespace) if key not in keep]
+        for key in dropped:
+            self.store.delete(self.namespace, key)
+        return dropped
 
     # -- policy operations ----------------------------------------------------
 

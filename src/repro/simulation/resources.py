@@ -9,7 +9,6 @@ the transfer time of the message at the link bandwidth.
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 class FifoResource:

@@ -17,9 +17,8 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
-import numpy as np
 
 from repro.core.clipper import Clipper
 from repro.core.exceptions import ClipperError, PredictionTimeoutError

@@ -11,7 +11,7 @@ for a span of queries and later recover.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Sequence, Tuple
+from typing import Any, Iterator, Optional, Sequence
 
 import numpy as np
 

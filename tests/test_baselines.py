@@ -8,7 +8,7 @@ import pytest
 from helpers import run_async
 from repro.baselines.selection import ABTestingSelection, StaticSelection
 from repro.baselines.tfserving import TFServingLikeServer
-from repro.containers.base import FunctionContainer, ModelContainer
+from repro.containers.base import ModelContainer
 from repro.containers.noop import NoOpContainer
 from repro.core.exceptions import ClipperError
 

@@ -11,7 +11,7 @@ from repro.containers.adapters import ClassifierContainer
 from repro.containers.noop import NoOpContainer
 from repro.containers.overhead import SimulatedLatencyContainer
 from repro.core.clipper import Clipper
-from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.config import ClipperConfig, ModelDeployment
 from repro.core.exceptions import ClipperError, DeploymentError, PredictionTimeoutError
 from repro.core.types import Feedback, Query
 

@@ -3,7 +3,6 @@
 import asyncio
 
 import numpy as np
-import pytest
 
 from helpers import run_async
 from repro.containers.chaos import KillableContainer, TrackingFactory

@@ -1,6 +1,5 @@
 """Tests for the contextualized selection-state manager (§5.3)."""
 
-import pytest
 
 from repro.core.types import ModelId
 from repro.selection.exp3 import Exp3Policy
@@ -51,6 +50,42 @@ class TestStateLifecycle:
         manager = SelectionStateManager(Exp4Policy(), MODELS, store=store)
         manager.get_state("user-9")
         assert store.keys("selection-state") == ["user-9"]
+
+
+class TestPrune:
+    def test_prune_keeps_only_named_contexts(self):
+        manager = SelectionStateManager(Exp4Policy(), MODELS)
+        for user in ("alice", "bob", "carol"):
+            manager.get_state(user)
+        dropped = manager.prune(keep_contexts=["bob"])
+        assert sorted(dropped) == ["alice", "carol"]
+        assert manager.contexts() == ["bob"]
+
+    def test_prune_maps_none_to_default_context(self):
+        manager = SelectionStateManager(Exp4Policy(), MODELS)
+        manager.get_state(None)
+        manager.get_state("alice")
+        dropped = manager.prune(keep_contexts=[None])
+        assert dropped == ["alice"]
+        assert manager.contexts() == [DEFAULT_CONTEXT]
+
+    def test_prune_everything_clears_the_namespace(self):
+        store = KeyValueStore()
+        manager = SelectionStateManager(Exp4Policy(), MODELS, store=store)
+        for user in ("alice", "bob"):
+            manager.get_state(user)
+        assert len(manager.prune(())) == 2
+        assert manager.contexts() == []
+        assert store.keys(manager.namespace) == []
+
+    def test_prune_leaves_other_namespaces_alone(self):
+        store = KeyValueStore()
+        keep = SelectionStateManager(Exp4Policy(), MODELS, store=store, namespace="ns-a")
+        victim = SelectionStateManager(Exp4Policy(), MODELS, store=store, namespace="ns-b")
+        keep.get_state("alice")
+        victim.get_state("alice")
+        victim.prune(())
+        assert keep.contexts() == ["alice"]
 
 
 class TestPolicyOperations:

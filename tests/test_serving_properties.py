@@ -3,7 +3,6 @@
 import asyncio
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from helpers import run_async

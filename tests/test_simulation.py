@@ -1,6 +1,5 @@
 """Tests for the discrete-event simulator and the cluster-scaling experiment."""
 
-import numpy as np
 import pytest
 
 from repro.simulation.cluster import simulate_cluster_scaling, sweep_cluster_scaling
