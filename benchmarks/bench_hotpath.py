@@ -2,8 +2,9 @@
 
 Unlike the figure benchmarks (which reproduce the paper's evaluation), this
 benchmark measures the reproduction's own serving hot path — cache-hit,
-cache-miss and ensemble scenarios through a full Clipper instance with no-op
-containers — so perf-focused PRs have a number to move.  Run with::
+cache-miss (plain and serialized wide) and ensemble scenarios through a full
+Clipper instance with no-op containers — so perf-focused PRs have a number
+to move.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s -q
 
@@ -35,6 +36,7 @@ def test_hotpath_scenarios():
     # order-of-magnitude regressions (e.g. reintroducing a poll timer), not
     # run-to-run noise.
     assert by_name["cache_hit"].qps > 200.0
+    assert by_name["cache_miss_wide"].qps > 50.0
     assert by_name["ensemble"].qps > 100.0
     # Every scenario must comfortably meet the benchmark SLO at the median.
     for result in results:

@@ -1,10 +1,11 @@
 #!/usr/bin/env python
 """Measure serving hot-path throughput/latency and write ``BENCH_hotpath.json``.
 
-Runs the three scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
-cache-miss, four-model ensemble) through a full :class:`repro.core.clipper.Clipper`
-instance with no-op containers, and records p50/p99 latency and QPS per
-scenario so successive PRs have a perf trajectory to compare against.
+Runs the four scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
+cache-miss, serialized wide cache-miss, four-model ensemble) through a full
+:class:`repro.core.clipper.Clipper` instance with no-op containers, and
+records p50/p99 latency and QPS per scenario so successive PRs have a perf
+trajectory to compare against.
 
 Usage::
 
@@ -18,6 +19,7 @@ layout is::
       "scenarios": {
         "cache_hit": {"qps": ..., "p50_ms": ..., "p99_ms": ..., ...},
         "cache_miss": {...},
+        "cache_miss_wide": {...},
         "ensemble": {...}
       }
     }
@@ -25,7 +27,9 @@ layout is::
 Interpretation: ``qps`` is end-to-end queries/second through ``predict``;
 ``p50_ms``/``p99_ms`` are per-query latencies measured at the caller.  The
 cache-hit and ensemble scenarios are the pure-framework numbers a perf PR
-must not regress; cache-miss additionally includes batching/RPC costs.
+must not regress; cache-miss additionally includes batching/RPC costs, and
+cache-miss-wide adds the binary wire format (columnar batches, zero-copy
+decode) to the measured path.
 """
 
 from __future__ import annotations

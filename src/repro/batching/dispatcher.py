@@ -10,6 +10,20 @@ batching is performed independently per replica).  The loop is:
 4. Feed the (size, latency) observation back into the controller and resolve
    each query's future with its output.
 
+Pipelining
+----------
+The dispatch loop keeps a bounded window of batches in flight
+(``pipeline_window``, default 2): while batch ``k``'s RPC round-trip is
+outstanding, the loop goes straight back to the queue, drains batch ``k+1``
+and *sends* it — so queue-drain and request encoding overlap with the
+container's evaluation instead of following it.  The RPC client
+demultiplexes responses by request id and the container server evaluates
+strictly in arrival order, so per-query results always resolve the right
+futures.  ``pipeline_window=1`` restores the strictly serial loop: with a
+window above 1 a batch's measured latency includes time spent queued behind
+its predecessor inside the container, which slightly inflates the latency
+signal the adaptive batch-size controllers feed on.
+
 Dispatchers are detachable: :meth:`ReplicaDispatcher.stop` leaves the shared
 queue live (queued queries stay put for the model's other replicas) and a
 stopped dispatcher can be re-started, which is how the management plane
@@ -25,7 +39,7 @@ from __future__ import annotations
 
 import asyncio
 import time
-from typing import List, Optional
+from typing import Any, Callable, List, Optional, Set
 
 from repro.batching.controllers import BatchSizeController
 from repro.batching.queue import BatchingQueue, PendingQuery
@@ -48,6 +62,8 @@ class ReplicaDispatcher:
         drop_expired: bool = True,
         max_retries: int = 0,
         failure_cooldown_ms: float = 20.0,
+        pipeline_window: int = 2,
+        late_result_sink: Optional[Callable[[PendingQuery, Any], None]] = None,
     ) -> None:
         self.replica = replica
         self.queue = queue
@@ -57,6 +73,12 @@ class ReplicaDispatcher:
         self.drop_expired = drop_expired
         self.max_retries = max_retries
         self.failure_cooldown_ms = failure_cooldown_ms
+        self.pipeline_window = max(1, int(pipeline_window))
+        #: Called with (item, output) when a query's future was already
+        #: resolved (straggler deadline) by the time its container output
+        #: arrived — the serving engine uses it to late-fill the prediction
+        #: cache.
+        self.late_result_sink = late_result_sink
         self.batch_history: List[BatchStats] = []
         #: Failed batches since the last success — read by the health
         #: monitor as a passive unhealthiness signal alongside its probes.
@@ -64,6 +86,9 @@ class ReplicaDispatcher:
         self.batches_failed = 0
         self._task: Optional[asyncio.Task] = None
         self._running = False
+        self._inflight: Set[asyncio.Task] = set()
+        self._inflight_done: Optional[asyncio.Event] = None
+        self._cooldown_due = False
         # Metric handles are resolved once per dispatcher instead of per
         # batch: the registry lookup rebuilds the f-string name and takes a
         # lock on every call, which adds up at high batch rates.
@@ -80,7 +105,7 @@ class ReplicaDispatcher:
         return self._task
 
     async def stop(self) -> None:
-        """Stop the dispatch loop after the in-flight batch completes."""
+        """Stop the dispatch loop after the in-flight batches complete."""
         self._running = False
         if self._task is not None:
             # Wake the loop if it is parked waiting for work (or topping up
@@ -99,31 +124,96 @@ class ReplicaDispatcher:
             self._task = None
 
     async def _run(self) -> None:
-        while self._running:
-            if self.queue.closed and self.queue.qsize() == 0:
-                return
-            batch = await self.queue.get_batch(
-                max_batch_size=self.controller.current_batch_size(),
-                batch_wait_timeout_ms=self.batch_wait_timeout_ms,
-            )
-            if not batch:
-                continue
-            failures_before = self.consecutive_failures
+        loop = asyncio.get_running_loop()
+        self._inflight_done = asyncio.Event()
+        try:
+            while self._running:
+                if self.queue.closed and self.queue.qsize() == 0:
+                    return
+                batch = await self.queue.get_batch(
+                    max_batch_size=self.controller.current_batch_size(),
+                    batch_wait_timeout_ms=self.batch_wait_timeout_ms,
+                )
+                if not batch:
+                    continue
+                if self._cooldown_due:
+                    # Back off after a failed batch *before* sending anything
+                    # else: the queries just drained go back onto the shared
+                    # queue so healthy siblings pick them up first, instead
+                    # of this (likely dead) replica re-stealing them in a
+                    # tight loop.  The flag is set by _handle_failed_batch
+                    # before it requeues, so it is already visible when the
+                    # requeued queries wake this loop.
+                    self._cooldown_due = False
+                    if self._running and self.failure_cooldown_ms > 0:
+                        batch = self._release_for_cooldown(batch)
+                        await asyncio.sleep(self.failure_cooldown_ms / 1000.0)
+                        if not batch:
+                            continue
+                if self.pipeline_window == 1:
+                    await self.dispatch_batch(batch)
+                else:
+                    # Pipelined: send this batch as a task and immediately go
+                    # back to draining the queue, so the next batch is
+                    # assembled and encoded while this one evaluates.
+                    await self._reserve_window_slot()
+                    task = loop.create_task(self._dispatch_guarded(batch))
+                    self._inflight.add(task)
+                    task.add_done_callback(self._on_dispatch_done)
+        finally:
+            if self._inflight:
+                await asyncio.gather(*self._inflight, return_exceptions=True)
+
+    def _release_for_cooldown(self, batch: List[PendingQuery]) -> List[PendingQuery]:
+        """Put a drained batch back on the shared queue before backing off.
+
+        Returns the queries that could not be requeued (queue closed or
+        full) — the caller dispatches those itself rather than lose them.
+        """
+        remaining: List[PendingQuery] = []
+        for index, item in enumerate(batch):
+            try:
+                self.queue.put_nowait(item)
+            except (RuntimeError, asyncio.QueueFull):
+                remaining.extend(batch[index:])
+                break
+        return remaining
+
+    async def _reserve_window_slot(self) -> None:
+        """Wait until fewer than ``pipeline_window`` batches are in flight."""
+        while len(self._inflight) >= self.pipeline_window:
+            self._inflight_done.clear()
+            await self._inflight_done.wait()
+
+    async def _dispatch_guarded(self, batch: List[PendingQuery]) -> None:
+        """Pipelined dispatch wrapper: no exception may strand the futures.
+
+        :meth:`dispatch_batch` handles RPC/container failures itself; an
+        exception escaping it is a bug, but the batch's callers must still
+        see a failure rather than hang, and the window slot must free up.
+        """
+        try:
             await self.dispatch_batch(batch)
-            if (
-                self._running
-                and self.consecutive_failures > failures_before
-                and self.failure_cooldown_ms > 0
-            ):
-                # Back off after a failed batch: re-enqueued queries go to
-                # healthy siblings first instead of being re-stolen by this
-                # (likely dead) replica in a tight loop.
-                await asyncio.sleep(self.failure_cooldown_ms / 1000.0)
+        except asyncio.CancelledError:
+            self._handle_failed_batch(
+                batch, RpcError("dispatcher stopped with the batch in flight")
+            )
+            raise
+        except Exception as exc:
+            self._handle_failed_batch(batch, exc)
+
+    def _on_dispatch_done(self, task: asyncio.Task) -> None:
+        self._inflight.discard(task)
+        if self._inflight_done is not None:
+            self._inflight_done.set()
 
     async def dispatch_batch(self, batch: List[PendingQuery]) -> None:
         """Evaluate one batch on the replica and resolve its futures."""
-        now = time.monotonic()
-        if self.drop_expired:
+        # Fast path: queries without deadlines (no straggler mitigation /
+        # feedback re-evaluations) skip the live/expired partition entirely —
+        # ``any`` short-circuits on the first deadline-carrying query.
+        if self.drop_expired and any(item.deadline is not None for item in batch):
+            now = time.monotonic()
             live, expired = [], []
             for item in batch:
                 (expired if item.expired(now) else live).append(item)
@@ -136,7 +226,9 @@ class ReplicaDispatcher:
             if not batch:
                 return
 
-        queue_time_ms = (now - min(item.enqueue_time for item in batch)) * 1000.0
+        queue_time_ms = (
+            time.monotonic() - min(item.enqueue_time for item in batch)
+        ) * 1000.0
         inputs = [item.input for item in batch]
         start = time.perf_counter()
         try:
@@ -165,14 +257,26 @@ class ReplicaDispatcher:
             )
             return
         self.consecutive_failures = 0
+        sink = self.late_result_sink
         for item, output in zip(batch, response.outputs):
-            if not item.future.done():
-                item.future.set_result(output)
+            future = item.future
+            if not future.done():
+                future.set_result(output)
+            elif (
+                sink is not None
+                and not future.cancelled()
+                and future.exception() is None
+            ):
+                # The straggler deadline already resolved this future; hand
+                # the late output to the engine so it still reaches the
+                # prediction cache.
+                sink(item, output)
 
     def _handle_failed_batch(self, batch: List[PendingQuery], error: Exception) -> None:
         """Requeue failed queries with retry budget left; fail the rest."""
         self.consecutive_failures += 1
         self.batches_failed += 1
+        self._cooldown_due = True
         for item in batch:
             if item.future.done():
                 continue

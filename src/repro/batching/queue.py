@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Deque, List, Optional
 
 
-@dataclass
+@dataclass(slots=True)
 class PendingQuery:
     """One query waiting in a batching queue.
 

@@ -53,6 +53,9 @@ class ContainerReplica:
         self.model_id = model_id
         self.replica_id = replica_id
         self.container = container
+        # The wire model name is rendered once: replicas send it with every
+        # batch and str(ModelId) is measurable at high batch rates.
+        self._model_key = str(model_id)
         self._transport = InProcessTransport(serialize_messages=serialize_messages)
         self._server = ContainerRpcServer(
             container, self._transport.server_side, use_executor=use_executor
@@ -74,11 +77,17 @@ class ContainerReplica:
             self._started = False
 
     async def predict_batch(self, inputs: Sequence[Any]) -> RpcResponse:
-        """Evaluate one batch on this replica via RPC."""
+        """Evaluate one batch on this replica via RPC.
+
+        Safe to call with batches already in flight: the RPC client
+        pipelines requests and demultiplexes responses by request id, which
+        is what lets the dispatcher overlap encoding the next batch with the
+        container's evaluation of the current one.
+        """
         if not self._started:
-            raise ContainerError(str(self.model_id), "replica is not started")
-        response = await self.client.predict(str(self.model_id), list(inputs))
-        return response
+            raise ContainerError(self._model_key, "replica is not started")
+        inputs = inputs if isinstance(inputs, list) else list(inputs)
+        return await self.client.predict(self._model_key, inputs)
 
     async def check_health(self, timeout_s: Optional[float] = None) -> bool:
         """Probe the replica over RPC; True only for a healthy response.

@@ -46,6 +46,8 @@ import asyncio
 import time
 from typing import Any, Dict, List, Optional
 
+import numpy as np
+
 from repro.batching.controllers import make_controller
 from repro.batching.dispatcher import ReplicaDispatcher
 from repro.batching.queue import BatchingQueue, PendingQuery
@@ -64,6 +66,70 @@ from repro.routing.table import RoutePlan, RoutingTable, parse_namespace_keys
 from repro.selection.manager import SelectionStateManager
 from repro.selection.policy import make_policy
 from repro.state.kvstore import KeyValueStore
+
+
+#: Sentinel resolved into a pending model future when its straggler deadline
+#: passes before the container answers.  A sentinel (not an exception) keeps
+#: abandoned futures from logging "exception was never retrieved" and lets
+#: the dispatcher distinguish "timed out, late-fill the cache when the real
+#: output lands" from genuine failures.
+DEADLINE_MISS = object()
+
+#: Granularity of the straggler-deadline sweep.  Queries whose deadlines
+#: fall into the same tick share one event-loop timer instead of paying a
+#: ``call_later`` + cancel each; a straggler may be declared up to this much
+#: late, which is far below scheduling jitter at serving load.
+_SWEEP_GRAIN_S = 0.001
+
+
+def _detach_output(output: Any) -> Any:
+    """An output safe to retain long-term (e.g. in the prediction cache).
+
+    The RPC decoder returns ndarray outputs as zero-copy views into the
+    whole received frame; caching such a view would pin the entire
+    batch-response buffer for the lifetime of one cache entry.  Views are
+    copied once here; owning arrays and scalars pass through.
+    """
+    if isinstance(output, np.ndarray) and output.base is not None:
+        return output.copy()
+    return output
+
+
+class _DeadlineSweeper:
+    """Resolves pending futures with :data:`DEADLINE_MISS` at their deadline.
+
+    Futures are bucketed by deadline tick; each bucket owns a single
+    ``loop.call_at`` timer.  On the serving hot path this replaces one timer
+    creation + cancellation per query with a dict probe and a list append —
+    the timer count collapses from per-query to per-millisecond.
+    """
+
+    __slots__ = ("_buckets", "_loop")
+
+    def __init__(self) -> None:
+        self._buckets: Dict[int, List[asyncio.Future]] = {}
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    def register(self, future: asyncio.Future, deadline: float) -> None:
+        """Arrange for ``future`` to resolve by ``deadline`` (monotonic)."""
+        loop = asyncio.get_running_loop()
+        if loop is not self._loop:
+            # The owning Clipper moved to a new event loop (sync-wrapper
+            # usage); the old loop's timers died with it.
+            self._buckets = {}
+            self._loop = loop
+        tick = int(deadline / _SWEEP_GRAIN_S) + 1
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            bucket = []
+            self._buckets[tick] = bucket
+            loop.call_at(tick * _SWEEP_GRAIN_S, self._fire, tick)
+        bucket.append(future)
+
+    def _fire(self, tick: int) -> None:
+        for future in self._buckets.pop(tick, ()):
+            if not future.done():
+                future.set_result(DEADLINE_MISS)
 
 
 class _DeployedModel:
@@ -119,6 +185,9 @@ class Clipper:
             scope=self.config.app_name,
         )
         self._admin_lock = asyncio.Lock()
+        # Straggler deadlines are enforced by a shared bucketed sweep (one
+        # timer per millisecond tick) instead of one timer per query.
+        self._sweeper = _DeadlineSweeper()
         # One selection-state manager per routed serving-set combination,
         # keyed by the routing plan's namespace and built lazily.
         self._selection_managers: Dict[str, SelectionStateManager] = {}
@@ -179,6 +248,17 @@ class Clipper:
         controller = make_controller(
             record.deployment.batching, slo_ms=self.config.batch_latency_budget_ms
         )
+        model_key = str(record.model_id)
+
+        def late_result_sink(item: PendingQuery, output: Any) -> None:
+            # A query that missed its straggler deadline still populates the
+            # prediction cache when its container output finally lands, so
+            # the feedback path can join against it (§4.2 / §5.2.2).
+            if item.input_hash is not None:
+                self.cache.put_by_hash(
+                    model_key, item.input_hash, _detach_output(output)
+                )
+
         return ReplicaDispatcher(
             replica=replica,
             queue=record.queue,
@@ -186,6 +266,8 @@ class Clipper:
             batch_wait_timeout_ms=record.deployment.batching.batch_wait_timeout_ms,
             metrics=self.metrics,
             max_retries=record.deployment.max_batch_retries,
+            pipeline_window=record.deployment.batching.pipeline_window,
+            late_result_sink=late_result_sink,
         )
 
     def deploy_model(
@@ -550,11 +632,13 @@ class Clipper:
 
         # The input is hashed exactly once per query; the digest is reused
         # for the routing key, every per-model cache fetch/insert, the
-        # pending queue items, and the straggler late-completion callback.
+        # pending queue items, and the dispatcher's straggler late-fill.
         input_hash = query.input_hash()
         plan = self.routing.plan_for(query.user_id or input_hash)
         selection = self._selection_manager_for(plan)
-        selected = selection.select(query.input, context=query.user_id)
+        selected, selection_state = selection.select_with_state(
+            query.input, context=query.user_id
+        )
         pending: Dict[str, asyncio.Future] = {}
         predictions: Dict[str, Any] = {}
         cache_hits = 0
@@ -575,13 +659,38 @@ class Clipper:
             pending[model_key] = future
 
         if pending:
-            arrived = await self._await_predictions(pending, input_hash, deadline)
-            for model_key, output in arrived.items():
+            # Await each pending model future directly.  With straggler
+            # mitigation on, every future self-resolves by the deadline (the
+            # sweep timer delivers DEADLINE_MISS), so the sequential loop
+            # still returns at the deadline while each completion wakes this
+            # task without intermediate waiter futures or per-query timers.
+            for model_key, future in pending.items():
+                try:
+                    output = await future
+                except asyncio.CancelledError:
+                    if future.cancelled():
+                        continue  # the query was abandoned, not this task
+                    raise
+                except Exception:
+                    # Container/RPC failure, or the batch layer dropped the
+                    # query as already expired.
+                    self._container_error_counter.increment()
+                    continue
+                if output is DEADLINE_MISS:
+                    # Straggler: rendered without this model (§5.2.2).  Its
+                    # late result still lands in the cache — the dispatcher
+                    # late-fills through the sink installed at deployment.
+                    self._straggler_counter.increment()
+                    continue
+                output = _detach_output(output)
                 self.cache.put_by_hash(model_key, input_hash, output)
                 predictions[model_key] = output
 
         latency_ms = (time.monotonic() - start) * 1000.0
-        missing = tuple(key for key in selected if key not in predictions)
+        if len(predictions) == len(selected):
+            missing = ()
+        else:
+            missing = tuple(key for key in selected if key not in predictions)
         if plan.tracked_arms:
             # Canary in flight: attribute this query's outcome to the split
             # arm(s) that served it, through handles resolved at table-swap
@@ -599,7 +708,7 @@ class Clipper:
             raise PredictionTimeoutError(query.query_id, slo_ms)
 
         output, confidence = selection.combine(
-            query.input, predictions, context=query.user_id
+            query.input, predictions, context=query.user_id, state=selection_state
         )
         default_used = False
         if (
@@ -638,47 +747,14 @@ class Clipper:
             query_id=query.query_id,
             input_hash=input_hash,
         )
-        await record.queue.put(item)
-        return future
-
-    async def _await_predictions(
-        self,
-        pending: Dict[str, asyncio.Future],
-        input_hash: str,
-        deadline: float,
-    ) -> Dict[str, Any]:
-        """Wait for model responses, respecting the straggler deadline."""
-        results: Dict[str, Any] = {}
-        if not pending:
-            return results
-        futures = list(pending.values())
-        if self.config.straggler_mitigation:
-            timeout = max(deadline - time.monotonic(), 0.0)
-            done, not_done = await asyncio.wait(futures, timeout=timeout)
+        if record.queue.maxsize == 0:
+            # Unbounded queue (the default): enqueue without suspending.
+            record.queue.put_nowait(item)
         else:
-            done, not_done = await asyncio.wait(futures)
-        for model_key, future in pending.items():
-            if future in done and not future.cancelled() and future.exception() is None:
-                results[model_key] = future.result()
-            elif future in done and future.exception() is not None:
-                self._container_error_counter.increment()
-        # Late (straggler) predictions are not returned to the application, but
-        # when they do complete their results still populate the cache so the
-        # feedback path can join against them.
-        for model_key, future in pending.items():
-            if future in not_done:
-                self._straggler_counter.increment()
-                future.add_done_callback(
-                    self._make_late_completion_callback(model_key, input_hash)
-                )
-        return results
-
-    def _make_late_completion_callback(self, model_key: str, input_hash: str):
-        def _on_done(future: asyncio.Future) -> None:
-            if not future.cancelled() and future.exception() is None:
-                self.cache.put_by_hash(model_key, input_hash, future.result())
-
-        return _on_done
+            await record.queue.put(item)
+        if item.deadline is not None:
+            self._sweeper.register(future, item.deadline)
+        return future
 
     def _finish(
         self,
@@ -751,7 +827,7 @@ class Clipper:
             await asyncio.wait(list(pending.values()))
             for model_key, future in pending.items():
                 if future.exception() is None:
-                    output = future.result()
+                    output = _detach_output(future.result())
                     predictions[model_key] = output
                     self.cache.put_by_hash(model_key, input_hash, output)
         selection.observe(

@@ -42,6 +42,13 @@ class BatchingConfig:
         additional queries when the queue holds fewer than the target batch.
     quantile:
         Latency quantile targeted by the quantile-regression controller.
+    pipeline_window:
+        Maximum batches a dispatcher keeps in flight per replica (default 2):
+        while one batch's RPC is outstanding, the dispatcher drains and
+        encodes the next so queue-drain + serialization overlap with the
+        container's evaluation.  ``1`` restores the strictly serial loop,
+        which keeps the adaptive controllers' latency feedback free of
+        in-container queueing time.
     """
 
     policy: str = "aimd"
@@ -52,6 +59,7 @@ class BatchingConfig:
     batch_wait_timeout_ms: float = 0.0
     quantile: float = 0.99
     quantile_window: int = 200
+    pipeline_window: int = 2
 
     def __post_init__(self) -> None:
         valid = {"aimd", "quantile", "fixed", "none"}
@@ -69,6 +77,8 @@ class BatchingConfig:
             raise ConfigurationError("batch_wait_timeout_ms must be non-negative")
         if not 0.0 < self.quantile < 1.0:
             raise ConfigurationError("quantile must be in (0, 1)")
+        if self.pipeline_window < 1:
+            raise ConfigurationError("pipeline_window must be >= 1")
 
 
 @dataclass

@@ -138,7 +138,7 @@ class Query:
         return digest
 
 
-@dataclass
+@dataclass(slots=True)
 class Prediction:
     """The response returned to the application for one query."""
 
@@ -182,7 +182,7 @@ class Feedback:
         return digest
 
 
-@dataclass
+@dataclass(slots=True)
 class BatchStats:
     """Summary of one dispatched batch, reported by the batching layer."""
 

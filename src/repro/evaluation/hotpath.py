@@ -14,6 +14,11 @@ scenarios isolate the framework cost per query:
 ``cache_miss``
     One model, every input unique.  Each query misses the cache and flows
     through the batching queue, a dispatcher and the container RPC.
+``cache_miss_wide``
+    Like ``cache_miss`` but with realistic MNIST-scale payloads (256-float
+    ``float32`` vectors) and the RPC round-tripping through the binary
+    serializer, so the columnar batch encoding and zero-copy decoding of
+    :mod:`repro.rpc.serialization` are on the measured path.
 ``ensemble``
     Four models behind the Exp4 ensemble policy, one repeated input.  Every
     query fans out to all models; after warm-up each fan-out is a cache
@@ -40,9 +45,13 @@ from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
 from repro.core.metrics import summarize_latencies, throughput_qps
 from repro.core.types import Query
 
-#: Input dimensionality used by every scenario (MNIST-sized feature vector,
+#: Input dimensionality used by most scenarios (MNIST-sized feature vector,
 #: large enough that input hashing is a measurable part of the per-query cost).
 INPUT_FEATURES = 784
+
+#: Input width of the serialized wide scenario: 256 float32 features, the
+#: payload shape of an MNIST-scale feature vector on the wire.
+WIDE_FEATURES = 256
 
 #: Generous SLO so the benchmark measures steady-state cost, not timeouts.
 BENCH_SLO_MS = 500.0
@@ -68,16 +77,16 @@ class HotpathResult:
         )
 
 
-def _noop_deployment(name: str) -> ModelDeployment:
+def _noop_deployment(name: str, serialize_rpc: bool = False) -> ModelDeployment:
     return ModelDeployment(
         name=name,
         container_factory=lambda: NoOpContainer(output=1),
         batching=BatchingConfig(policy="aimd", initial_batch_size=4),
-        serialize_rpc=False,
+        serialize_rpc=serialize_rpc,
     )
 
 
-def _single_model_clipper() -> Clipper:
+def _single_model_clipper(serialize_rpc: bool = False) -> Clipper:
     clipper = Clipper(
         ClipperConfig(
             app_name="hotpath",
@@ -85,7 +94,7 @@ def _single_model_clipper() -> Clipper:
             selection_policy="single",
         )
     )
-    clipper.deploy_model(_noop_deployment("noop"))
+    clipper.deploy_model(_noop_deployment("noop", serialize_rpc=serialize_rpc))
     return clipper
 
 
@@ -166,6 +175,28 @@ async def run_cache_miss(num_queries: int = 2000, concurrency: int = 32) -> Hotp
     return _result("cache_miss", elapsed, latencies)
 
 
+async def run_cache_miss_wide(
+    num_queries: int = 2000, concurrency: int = 32
+) -> HotpathResult:
+    """Unique 256-float float32 inputs through the serializing RPC path.
+
+    Every batch crosses the Clipper↔container boundary through the binary
+    wire format (``serialize_rpc=True``), so this scenario prices the
+    columnar batch encoding, writev-style framing and zero-copy decoding —
+    the costs ``cache_miss`` deliberately excludes.
+    """
+    clipper = _single_model_clipper(serialize_rpc=True)
+    await clipper.start()
+    try:
+        rng = np.random.default_rng(3)
+        inputs = rng.standard_normal((num_queries, WIDE_FEATURES)).astype(np.float32)
+        queries = [Query(app_name="hotpath", input=inputs[i]) for i in range(num_queries)]
+        elapsed, latencies = await _drive(clipper, queries, concurrency=concurrency)
+    finally:
+        await clipper.stop()
+    return _result("cache_miss_wide", elapsed, latencies)
+
+
 async def run_ensemble(num_queries: int = 3000, width: int = 4) -> HotpathResult:
     """Four-model ensemble, repeated input: per-model bookkeeping × width."""
     clipper = _ensemble_clipper(width=width)
@@ -189,6 +220,7 @@ def run_all(quick: bool = False) -> List[HotpathResult]:
         return [
             await run_cache_hit(num_queries=5000 // scale),
             await run_cache_miss(num_queries=2000 // scale),
+            await run_cache_miss_wide(num_queries=2000 // scale),
             await run_ensemble(num_queries=3000 // scale),
         ]
 

@@ -9,13 +9,14 @@ queues) and a real TCP transport (length-prefixed frames over asyncio
 streams) for tests and examples that want genuine socket behaviour.
 """
 
-from repro.rpc.serialization import deserialize, serialize
+from repro.rpc.serialization import deserialize, serialize, serialize_buffers
 from repro.rpc.protocol import (
     MessageType,
     RpcRequest,
     RpcResponse,
     decode_message,
     encode_message,
+    encode_message_buffers,
 )
 from repro.rpc.transport import InProcessTransport, TcpTransport, Transport
 from repro.rpc.client import RpcClient
@@ -23,11 +24,13 @@ from repro.rpc.server import ContainerRpcServer
 
 __all__ = [
     "serialize",
+    "serialize_buffers",
     "deserialize",
     "MessageType",
     "RpcRequest",
     "RpcResponse",
     "encode_message",
+    "encode_message_buffers",
     "decode_message",
     "Transport",
     "InProcessTransport",

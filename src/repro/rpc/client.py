@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
-from typing import Any, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.core.exceptions import RpcError
 from repro.rpc.protocol import MessageType, RpcRequest, RpcResponse, message_type
@@ -15,22 +15,34 @@ class RpcClient:
     """Sends batch prediction requests over a transport and awaits responses.
 
     One client is bound to one container replica (matching the paper's one
-    queue / one RPC connection per replica design).  Requests are issued one
-    at a time per client; the batching dispatcher never pipelines more than
-    one outstanding batch per replica because the next batch's size depends
-    on the previous batch's measured latency.
+    queue / one RPC connection per replica design).  The client *pipelines*:
+    several requests may be outstanding on the connection at once — the
+    batching dispatcher overlaps draining and encoding the next batch with
+    the container's evaluation of the current one — so responses are
+    demultiplexed by ``request_id``.  A single background receive pump owns
+    ``transport.recv()`` and resolves each response's waiter; the container
+    server evaluates requests one at a time in arrival order, so per-request
+    results always land on the matching waiter regardless of how many
+    batches are in flight.
     """
 
     def __init__(self, transport: Transport, timeout_s: Optional[float] = 30.0) -> None:
         self._transport = transport
         self._timeout_s = timeout_s
         self._request_ids = itertools.count()
-        self._lock = asyncio.Lock()
+        self._send_lock = asyncio.Lock()
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._pump_task: Optional[asyncio.Task] = None
 
     async def predict(
         self, model_name: str, inputs: List[Any], metadata: Optional[dict] = None
     ) -> RpcResponse:
-        """Send one batch and wait for the aligned batch of outputs."""
+        """Send one batch and wait for the aligned batch of outputs.
+
+        Safe to call concurrently: requests are written to the transport one
+        at a time, but callers wait on their own response waiter, so a new
+        batch can be sent while earlier batches are still being evaluated.
+        """
         if not inputs:
             raise RpcError("cannot send an empty prediction batch")
         request = RpcRequest(
@@ -39,9 +51,7 @@ class RpcClient:
             inputs=inputs,
             metadata=metadata or {},
         )
-        async with self._lock:
-            await self._transport.send(request.to_payload())
-            payload = await self._recv_matching(request.request_id)
+        payload = await self._exchange(request.request_id, request.to_payload())
         response = RpcResponse.from_payload(payload)
         if response.ok and len(response.outputs) != len(inputs):
             raise RpcError(
@@ -53,16 +63,21 @@ class RpcClient:
     async def heartbeat(self, timeout_s: Optional[float] = None) -> bool:
         """Probe container health; returns True when it responds healthy.
 
-        ``timeout_s`` bounds the whole probe — including waiting for the
-        client lock behind an in-flight batch — so health monitors can use a
-        probe deadline much shorter than the prediction RPC timeout.  A
-        response whose ``healthy`` flag is false (the container's own
+        ``timeout_s`` bounds the whole probe, so health monitors can use a
+        probe deadline much shorter than the prediction RPC timeout even
+        while batches are in flight on the same connection.  A response
+        whose ``healthy`` flag is false (the container's own
         :meth:`~repro.containers.base.ModelContainer.healthy` verdict) counts
         as a failed probe even though the transport is alive.
         """
         request_id = next(self._request_ids)
+        message = {"type": int(MessageType.HEARTBEAT), "request_id": request_id}
         try:
-            exchange = self._heartbeat_exchange(request_id)
+            # The timeout wraps the whole exchange — including waiting for
+            # the send lock behind an in-flight batch and the send itself —
+            # not just the response wait, so a wedged connection probes
+            # False instead of hanging the health monitor.
+            exchange = self._exchange(request_id, message, timeout_s=None)
             if timeout_s is None:
                 payload = await exchange
             else:
@@ -73,30 +88,73 @@ class RpcClient:
             payload.get("healthy", True)
         )
 
-    async def _heartbeat_exchange(self, request_id: int) -> dict:
-        async with self._lock:
-            await self._transport.send(
-                {"type": int(MessageType.HEARTBEAT), "request_id": request_id}
-            )
-            return await self._recv_matching(request_id)
+    async def _exchange(
+        self, request_id: int, message: dict, timeout_s: Optional[float] = ...
+    ) -> dict:
+        """Send one message and wait for the response with its request id."""
+        if timeout_s is ...:
+            timeout_s = self._timeout_s
+        loop = asyncio.get_running_loop()
+        waiter: asyncio.Future = loop.create_future()
+        async with self._send_lock:
+            self._ensure_pump(loop)
+            self._pending[request_id] = waiter
+            try:
+                await self._transport.send(message)
+            except BaseException:
+                self._pending.pop(request_id, None)
+                raise
+        try:
+            if timeout_s is None:
+                return await waiter
+            try:
+                return await asyncio.wait_for(waiter, timeout=timeout_s)
+            except asyncio.TimeoutError as exc:
+                raise RpcError(
+                    f"timed out after {timeout_s}s waiting for response"
+                ) from exc
+        finally:
+            # A response arriving after a timeout finds no pending entry and
+            # is dropped by the pump (the old stale-response behaviour).
+            self._pending.pop(request_id, None)
 
-    async def _recv_matching(self, request_id: int) -> dict:
-        """Receive until a payload with the expected request id arrives."""
-        while True:
-            if self._timeout_s is None:
+    def _ensure_pump(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._pump_task is None or self._pump_task.done():
+            self._pump_task = loop.create_task(self._pump())
+
+    async def _pump(self) -> None:
+        """Receive loop: route each response to its request's waiter.
+
+        Runs until the transport closes (or errors), then fails every
+        still-pending waiter so in-flight callers see the connection error
+        instead of their own timeout.
+        """
+        try:
+            while True:
                 payload = await self._transport.recv()
-            else:
-                try:
-                    payload = await asyncio.wait_for(
-                        self._transport.recv(), timeout=self._timeout_s
-                    )
-                except asyncio.TimeoutError as exc:
-                    raise RpcError(
-                        f"timed out after {self._timeout_s}s waiting for response"
-                    ) from exc
-            if int(payload.get("request_id", -1)) == request_id:
-                return payload
-            # Stale response from an abandoned request: drop and keep reading.
+                waiter = self._pending.pop(int(payload.get("request_id", -1)), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(payload)
+                # No waiter: stale response from an abandoned request — drop.
+        except RpcError as exc:
+            self._fail_pending(RpcError(f"connection closed: {exc}"))
+        except asyncio.CancelledError:
+            self._fail_pending(RpcError("transport is closed"))
+            raise
+
+    def _fail_pending(self, error: RpcError) -> None:
+        pending, self._pending = self._pending, {}
+        for waiter in pending.values():
+            if not waiter.done():
+                waiter.set_exception(error)
 
     async def close(self) -> None:
         await self._transport.close()
+        if self._pump_task is not None:
+            self._pump_task.cancel()
+            try:
+                await self._pump_task
+            except asyncio.CancelledError:
+                pass
+            self._pump_task = None
+        self._fail_pending(RpcError("transport is closed"))

@@ -8,6 +8,14 @@ framed on the wire as a 4-byte little-endian length prefix followed by the
 serialized bytes.  Three message types cover the container protocol:
 ``PREDICT`` (a batch of inputs), ``PREDICT_RESPONSE`` (a batch of outputs or
 an error) and ``HEARTBEAT`` (liveness checks used by the container runtime).
+
+Framing is copy-free on the encode side: :func:`encode_message_buffers`
+returns the length prefix plus the serializer's buffer segments so a
+gather-capable transport (``writev`` / ``StreamWriter.writelines``) never
+materialises the frame as one ``bytes``.  Homogeneous ndarray batches inside
+the payload use the columnar ``NDARRAY_BATCH`` encoding (one dtype/shape
+header for the whole batch — see :mod:`repro.rpc.serialization`);
+heterogeneous batches fall back to the per-element tagged format.
 """
 
 from __future__ import annotations
@@ -18,7 +26,12 @@ from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
 from repro.core.exceptions import SerializationError
-from repro.rpc.serialization import deserialize, serialize
+from repro.rpc.serialization import (
+    deserialize,
+    serialize,
+    serialize_buffers,
+    serialized_nbytes,
+)
 
 #: Maximum frame size accepted by the decoder (guards against corrupt prefixes).
 MAX_FRAME_BYTES = 256 * 1024 * 1024
@@ -43,11 +56,13 @@ class RpcRequest:
     metadata: dict = field(default_factory=dict)
 
     def to_payload(self) -> dict:
+        # ``inputs`` is shared, not copied: receivers copy in from_payload,
+        # so the in-process pass-through transport stays aliasing-safe.
         return {
             "type": int(MessageType.PREDICT),
             "request_id": self.request_id,
             "model_name": self.model_name,
-            "inputs": list(self.inputs),
+            "inputs": self.inputs,
             "metadata": self.metadata,
         }
 
@@ -78,7 +93,7 @@ class RpcResponse:
         return {
             "type": int(MessageType.PREDICT_RESPONSE),
             "request_id": self.request_id,
-            "outputs": list(self.outputs),
+            "outputs": self.outputs,
             "error": self.error,
             "container_latency_ms": float(self.container_latency_ms),
         }
@@ -93,12 +108,24 @@ class RpcResponse:
         )
 
 
+def encode_message_buffers(payload: dict) -> List[Any]:
+    """Serialize a payload dict as framed buffer segments (writev-style).
+
+    The first segment is the 4-byte length prefix; the rest are the
+    serializer's segments, which may alias the payload's arrays — consume
+    them (write or join) before mutating those arrays.  Joining all segments
+    yields exactly :func:`encode_message`'s output.
+    """
+    body = serialize_buffers(payload)
+    length = serialized_nbytes(body)
+    if length > MAX_FRAME_BYTES:
+        raise SerializationError(f"frame of {length} bytes exceeds maximum")
+    return [struct.pack("<I", length), *body]
+
+
 def encode_message(payload: dict) -> bytes:
     """Serialize a payload dict and prepend the 4-byte length prefix."""
-    body = serialize(payload)
-    if len(body) > MAX_FRAME_BYTES:
-        raise SerializationError(f"frame of {len(body)} bytes exceeds maximum")
-    return struct.pack("<I", len(body)) + body
+    return b"".join(encode_message_buffers(payload))
 
 
 def decode_message(data: bytes) -> Tuple[dict, bytes]:
@@ -106,7 +133,8 @@ def decode_message(data: bytes) -> Tuple[dict, bytes]:
 
     Returns the payload dict and any remaining unconsumed bytes.  Raises
     :class:`SerializationError` when fewer bytes than one whole frame are
-    available, so stream readers can accumulate and retry.
+    available, so stream readers can accumulate and retry.  Decoded ndarrays
+    are read-only zero-copy views into ``data``.
     """
     if len(data) < 4:
         raise SerializationError("incomplete frame header")
@@ -115,7 +143,7 @@ def decode_message(data: bytes) -> Tuple[dict, bytes]:
         raise SerializationError(f"frame length {length} exceeds maximum")
     if len(data) < 4 + length:
         raise SerializationError("incomplete frame body")
-    payload = deserialize(bytes(data[4 : 4 + length]))
+    payload = deserialize(memoryview(data)[4 : 4 + length])
     if not isinstance(payload, dict) or "type" not in payload:
         raise SerializationError("frame payload is not a valid message envelope")
     return payload, data[4 + length :]

@@ -7,12 +7,48 @@ scalars, strings, bytes, lists/tuples and dicts.  It deliberately avoids
 ``pickle`` so that the wire format is language-neutral in spirit, matching
 the paper's cross-language RPC goal, and so that deserialization of
 untrusted bytes cannot execute code.
+
+Columnar batches
+----------------
+A *homogeneous* list of ndarrays — every element the same dtype and shape,
+which is what a prediction batch looks like on the wire — is encoded as one
+``NDARRAY_BATCH`` frame: a single dtype/shape header followed by the
+elements' raw bytes back to back (equivalent to ``np.stack``'s buffer),
+instead of ``N`` individually tagged arrays each carrying its own header.
+Heterogeneous lists transparently fall back to the tagged ``LIST`` encoding,
+so every value the tagged format could represent still round-trips.
+
+The ``NDARRAY_BATCH`` frame layout is::
+
+    u8   tag (9)
+    u8   len(dtype)   dtype string, ascii (numpy ``dtype.str``, e.g. "<f4")
+    u8   ndim         element ndim (>= 1)
+    i64  × ndim       element shape
+    u32  count        number of elements in the batch
+    u64  nbytes       total payload size (count × element nbytes)
+    raw  payload      elements' contiguous bytes, concatenated
+
+Zero-copy
+---------
+Both directions avoid materialising intermediate ``bytes``:
+
+* **Encode** — :func:`serialize_buffers` returns a *list* of buffer segments
+  (small control bytes interleaved with ``memoryview`` s of the original
+  array payloads) suitable for ``writev``-style transports; large array
+  payloads are never copied into the frame.  :func:`serialize` remains the
+  join-to-one-``bytes`` convenience.  The returned views alias the caller's
+  arrays, so they must be consumed (written or joined) before those arrays
+  are mutated.
+* **Decode** — ndarray payloads are returned as **read-only**
+  ``np.frombuffer`` views into the received frame (no ``bytes()`` slice, no
+  ``array.copy()``).  Callers that need to mutate a decoded array copy it
+  explicitly (`array.copy()`); everyone else reads it in place.
 """
 
 from __future__ import annotations
 
 import struct
-from typing import Any, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,28 +64,102 @@ _TAG_BYTES = 5
 _TAG_LIST = 6
 _TAG_DICT = 7
 _TAG_NDARRAY = 8
+_TAG_NDARRAY_BATCH = 9
 
 _MAX_DEPTH = 32
 
+#: Payloads smaller than this are copied inline into the control buffer;
+#: larger ones are emitted as standalone zero-copy segments.  Tiny segments
+#: would make writev-style sends slower than one small copy.
+_INLINE_PAYLOAD_MAX = 512
+
+
+class _BufferWriter:
+    """Accumulates an encoded frame as a list of buffer segments.
+
+    Control bytes (tags, lengths, headers, small payloads) append to a
+    ``bytearray`` scratch segment; large payloads are spliced in as
+    zero-copy read-only memoryviews of the caller's data.
+    """
+
+    __slots__ = ("_segments", "_scratch")
+
+    def __init__(self) -> None:
+        self._segments: List[Any] = []
+        self._scratch = bytearray()
+
+    # bytearray-compatible surface used by the encoder for control bytes.
+    def append(self, byte: int) -> None:
+        self._scratch.append(byte)
+
+    def extend(self, data) -> None:
+        self._scratch.extend(data)
+
+    def payload(self, buffer) -> None:
+        """Splice in one payload segment without copying it."""
+        view = memoryview(buffer)
+        if view.nbytes == 0:
+            return
+        if view.nbytes < _INLINE_PAYLOAD_MAX:
+            self._scratch.extend(view.cast("B"))
+            return
+        if self._scratch:
+            self._segments.append(self._scratch)
+            self._scratch = bytearray()
+        self._segments.append(view.cast("B").toreadonly())
+
+    def buffers(self) -> List[Any]:
+        if self._scratch:
+            self._segments.append(self._scratch)
+            self._scratch = bytearray()
+        return self._segments
+
 
 def serialize(value: Any) -> bytes:
-    """Encode ``value`` into the tagged binary format."""
-    out = bytearray()
-    _encode(value, out, depth=0)
-    return bytes(out)
+    """Encode ``value`` into one contiguous tagged-binary frame."""
+    return b"".join(serialize_buffers(value))
 
 
-def deserialize(data: bytes) -> Any:
-    """Decode a value previously produced by :func:`serialize`."""
-    value, offset = _decode(memoryview(data), 0, depth=0)
-    if offset != len(data):
+def serialize_buffers(value: Any) -> List[Any]:
+    """Encode ``value`` as a list of buffer segments (writev-style).
+
+    Joining the segments yields exactly :func:`serialize`'s output, but a
+    gather-capable transport can write them without ever materialising the
+    frame.  Large ndarray/bytes payload segments are read-only views of the
+    caller's data — consume them before mutating the originals.
+    """
+    writer = _BufferWriter()
+    _encode(value, writer, depth=0)
+    return writer.buffers()
+
+
+def serialized_nbytes(buffers: List[Any]) -> int:
+    """Total size in bytes of a :func:`serialize_buffers` segment list."""
+    return sum(len(segment) for segment in buffers)
+
+
+def deserialize(data) -> Any:
+    """Decode a value previously produced by :func:`serialize`.
+
+    ``data`` may be any contiguous bytes-like object (``bytes``,
+    ``bytearray``, ``memoryview``).  Decoded ndarrays are read-only views
+    into ``data`` — they keep it alive and copy only on demand.
+    """
+    view = memoryview(data)
+    if view.format != "B":
+        view = view.cast("B")
+    try:
+        value, offset = _decode(view, 0, depth=0)
+    except struct.error as exc:
+        raise SerializationError(f"truncated or corrupt frame: {exc}") from exc
+    if offset != len(view):
         raise SerializationError(
-            f"trailing bytes after decoded value: {len(data) - offset} left"
+            f"trailing bytes after decoded value: {len(view) - offset} left"
         )
     return value
 
 
-def _encode(value: Any, out: bytearray, depth: int) -> None:
+def _encode(value: Any, out: _BufferWriter, depth: int) -> None:
     if depth > _MAX_DEPTH:
         raise SerializationError("value nesting exceeds maximum depth")
     if value is None:
@@ -68,18 +178,22 @@ def _encode(value: Any, out: bytearray, depth: int) -> None:
         encoded = value.encode("utf-8")
         out.append(_TAG_STR)
         out.extend(struct.pack("<I", len(encoded)))
-        out.extend(encoded)
+        out.payload(encoded)
     elif isinstance(value, (bytes, bytearray)):
         out.append(_TAG_BYTES)
         out.extend(struct.pack("<I", len(value)))
-        out.extend(value)
+        out.payload(value)
     elif isinstance(value, np.ndarray):
         _encode_ndarray(value, out)
     elif isinstance(value, (list, tuple)):
-        out.append(_TAG_LIST)
-        out.extend(struct.pack("<I", len(value)))
-        for item in value:
-            _encode(item, out, depth + 1)
+        batch_shape = _homogeneous_batch_shape(value)
+        if batch_shape is not None:
+            _encode_ndarray_batch(value, out)
+        else:
+            out.append(_TAG_LIST)
+            out.extend(struct.pack("<I", len(value)))
+            for item in value:
+                _encode(item, out, depth + 1)
     elif isinstance(value, dict):
         out.append(_TAG_DICT)
         out.extend(struct.pack("<I", len(value)))
@@ -92,20 +206,55 @@ def _encode(value: Any, out: bytearray, depth: int) -> None:
         raise SerializationError(f"cannot serialize value of type {type(value).__name__}")
 
 
-def _encode_ndarray(array: np.ndarray, out: bytearray) -> None:
+def _homogeneous_batch_shape(items) -> Optional[Tuple[Any, tuple]]:
+    """The shared (dtype, shape) when ``items`` is a columnar-eligible batch.
+
+    Eligible means: at least two elements, every element an ndarray of one
+    dtype and one shape, ``ndim >= 1`` (0-d arrays keep their per-element
+    tagged round-trip) and not an object dtype.  Anything else returns None
+    and falls back to the tagged LIST encoding.
+    """
+    if len(items) < 2:
+        return None
+    first = items[0]
+    if not isinstance(first, np.ndarray) or first.ndim == 0 or first.dtype.hasobject:
+        return None
+    dtype = first.dtype
+    shape = first.shape
+    for item in items:
+        if not isinstance(item, np.ndarray) or item.dtype != dtype or item.shape != shape:
+            return None
+    return dtype, shape
+
+
+def _encode_ndarray_header(tag: int, dtype: np.dtype, shape: tuple, out: _BufferWriter) -> None:
+    dtype_name = dtype.str.encode("ascii")
+    out.append(tag)
+    out.extend(struct.pack("<B", len(dtype_name)))
+    out.extend(dtype_name)
+    out.extend(struct.pack("<B", len(shape)))
+    for dim in shape:
+        out.extend(struct.pack("<q", dim))
+
+
+def _encode_ndarray(array: np.ndarray, out: _BufferWriter) -> None:
     if array.dtype.hasobject:
         raise SerializationError("object-dtype arrays are not serializable")
     contiguous = np.ascontiguousarray(array)
-    dtype_name = contiguous.dtype.str.encode("ascii")
-    out.append(_TAG_NDARRAY)
-    out.extend(struct.pack("<B", len(dtype_name)))
-    out.extend(dtype_name)
-    out.extend(struct.pack("<B", contiguous.ndim))
-    for dim in contiguous.shape:
-        out.extend(struct.pack("<q", dim))
-    raw = contiguous.tobytes()
-    out.extend(struct.pack("<Q", len(raw)))
-    out.extend(raw)
+    _encode_ndarray_header(_TAG_NDARRAY, contiguous.dtype, contiguous.shape, out)
+    out.extend(struct.pack("<Q", contiguous.nbytes))
+    out.payload(contiguous)
+
+
+def _encode_ndarray_batch(arrays, out: _BufferWriter) -> None:
+    first = arrays[0]
+    _encode_ndarray_header(_TAG_NDARRAY_BATCH, first.dtype, first.shape, out)
+    elem_nbytes = first.dtype.itemsize * first.size
+    out.extend(struct.pack("<I", len(arrays)))
+    out.extend(struct.pack("<Q", elem_nbytes * len(arrays)))
+    for array in arrays:
+        contiguous = array if array.flags.c_contiguous else np.ascontiguousarray(array)
+        out.payload(contiguous)
 
 
 def _decode(view: memoryview, offset: int, depth: int) -> Tuple[Any, int]:
@@ -118,6 +267,8 @@ def _decode(view: memoryview, offset: int, depth: int) -> Tuple[Any, int]:
     if tag == _TAG_NONE:
         return None, offset
     if tag == _TAG_BOOL:
+        if offset >= len(view):
+            raise SerializationError("truncated bool payload")
         return bool(view[offset]), offset + 1
     if tag == _TAG_INT:
         (value,) = struct.unpack_from("<q", view, offset)
@@ -128,17 +279,19 @@ def _decode(view: memoryview, offset: int, depth: int) -> Tuple[Any, int]:
     if tag == _TAG_STR:
         (length,) = struct.unpack_from("<I", view, offset)
         offset += 4
-        raw = bytes(view[offset : offset + length])
-        if len(raw) != length:
+        end = offset + length
+        if end > len(view):
             raise SerializationError("truncated string payload")
-        return raw.decode("utf-8"), offset + length
+        # Decode straight from the bounds-checked view slice: no
+        # intermediate bytes() materialisation.
+        return str(view[offset:end], "utf-8"), end
     if tag == _TAG_BYTES:
         (length,) = struct.unpack_from("<I", view, offset)
         offset += 4
-        raw = bytes(view[offset : offset + length])
-        if len(raw) != length:
+        end = offset + length
+        if end > len(view):
             raise SerializationError("truncated bytes payload")
-        return raw, offset + length
+        return bytes(view[offset:end]), end
     if tag == _TAG_LIST:
         (length,) = struct.unpack_from("<I", view, offset)
         offset += 4
@@ -158,28 +311,62 @@ def _decode(view: memoryview, offset: int, depth: int) -> Tuple[Any, int]:
         return result, offset
     if tag == _TAG_NDARRAY:
         return _decode_ndarray(view, offset)
+    if tag == _TAG_NDARRAY_BATCH:
+        return _decode_ndarray_batch(view, offset)
     raise SerializationError(f"unknown type tag {tag}")
 
 
-def _decode_ndarray(view: memoryview, offset: int) -> Tuple[np.ndarray, int]:
+def _decode_ndarray_header(view: memoryview, offset: int) -> Tuple[str, list, int]:
+    if offset >= len(view):
+        raise SerializationError("truncated ndarray header")
     (dtype_len,) = struct.unpack_from("<B", view, offset)
     offset += 1
-    dtype_name = bytes(view[offset : offset + dtype_len]).decode("ascii")
+    if offset + dtype_len > len(view):
+        raise SerializationError("truncated ndarray header")
+    dtype_name = str(view[offset : offset + dtype_len], "ascii")
     offset += dtype_len
     (ndim,) = struct.unpack_from("<B", view, offset)
     offset += 1
+    if offset + 8 * ndim > len(view):
+        raise SerializationError("truncated ndarray header")
     shape = []
     for _ in range(ndim):
         (dim,) = struct.unpack_from("<q", view, offset)
         shape.append(int(dim))
         offset += 8
-    (nbytes,) = struct.unpack_from("<Q", view, offset)
-    offset += 8
-    raw = bytes(view[offset : offset + nbytes])
-    if len(raw) != nbytes:
-        raise SerializationError("truncated ndarray payload")
+    return dtype_name, shape, offset
+
+
+def _ndarray_view(payload: memoryview, dtype_name: str, shape) -> np.ndarray:
+    """A read-only ndarray view over ``payload`` (zero-copy)."""
     try:
-        array = np.frombuffer(raw, dtype=np.dtype(dtype_name)).reshape(shape)
+        array = np.frombuffer(payload, dtype=np.dtype(dtype_name)).reshape(shape)
     except (TypeError, ValueError) as exc:
         raise SerializationError(f"invalid ndarray payload: {exc}") from exc
-    return array.copy(), offset + nbytes
+    array.flags.writeable = False
+    return array
+
+
+def _decode_ndarray(view: memoryview, offset: int) -> Tuple[np.ndarray, int]:
+    dtype_name, shape, offset = _decode_ndarray_header(view, offset)
+    (nbytes,) = struct.unpack_from("<Q", view, offset)
+    offset += 8
+    end = offset + nbytes
+    if end > len(view):
+        raise SerializationError("truncated ndarray payload")
+    return _ndarray_view(view[offset:end], dtype_name, shape), end
+
+
+def _decode_ndarray_batch(view: memoryview, offset: int) -> Tuple[List[np.ndarray], int]:
+    dtype_name, shape, offset = _decode_ndarray_header(view, offset)
+    (count,) = struct.unpack_from("<I", view, offset)
+    offset += 4
+    (nbytes,) = struct.unpack_from("<Q", view, offset)
+    offset += 8
+    end = offset + nbytes
+    if end > len(view):
+        raise SerializationError("truncated ndarray batch payload")
+    batch = _ndarray_view(view[offset:end], dtype_name, [count, *shape])
+    # Rows of the read-only (count, *shape) view: each element aliases the
+    # frame, no per-element copies.
+    return list(batch), end

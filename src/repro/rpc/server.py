@@ -19,6 +19,14 @@ class ContainerRpcServer:
     decoded inputs (optionally in a thread-pool executor so CPU-heavy models
     don't stall the event loop), and replies with the aligned outputs and the
     measured container-side latency.
+
+    The loop is *pipelined* on the receive side: while a batch evaluates,
+    the next frame is already being received and decoded in a prefetch task,
+    so a pipelining client (window > 1) overlaps its encode/send of batch
+    ``k+1`` with the container's evaluation of batch ``k``.  Evaluation
+    itself stays strictly serial and in arrival order — containers are
+    single-threaded, and in-order responses are what lets the client map
+    results back to request ids cheaply.
     """
 
     def __init__(
@@ -41,37 +49,54 @@ class ContainerRpcServer:
 
     async def serve_forever(self) -> None:
         """Process requests until the transport closes."""
-        while True:
-            try:
-                payload = await self._transport.recv()
-            except RpcError:
-                return
-            kind = message_type(payload)
-            if kind == MessageType.HEARTBEAT:
-                # The heartbeat reply doubles as a health probe: it carries
-                # the container's own liveness verdict so the management
-                # plane's HealthMonitor can distinguish "transport is up but
-                # the model is sick" from plain transport liveness.
+        loop = asyncio.get_running_loop()
+        prefetch = loop.create_task(self._transport.recv())
+        try:
+            while True:
                 try:
-                    healthy = bool(self._container.healthy())
-                except Exception:
-                    healthy = False
-                await self._transport.send(
-                    {
-                        "type": int(MessageType.HEARTBEAT_RESPONSE),
-                        "request_id": int(payload["request_id"]),
-                        "healthy": healthy,
-                    }
-                )
-                continue
-            if kind != MessageType.PREDICT:
-                continue
-            request = RpcRequest.from_payload(payload)
-            response = await self._evaluate(request)
+                    payload = await prefetch
+                except RpcError:
+                    return
+                # Prefetch the next frame immediately: its receive + decode
+                # overlaps the evaluation below instead of following it.
+                prefetch = loop.create_task(self._transport.recv())
+                try:
+                    await self._handle(payload)
+                except RpcError:
+                    # Failed to send a reply: the peer is gone.
+                    return
+        finally:
+            prefetch.cancel()
             try:
-                await self._transport.send(response.to_payload())
-            except RpcError:
-                return
+                await prefetch
+            except (asyncio.CancelledError, RpcError):
+                pass
+
+    async def _handle(self, payload: dict) -> None:
+        """Answer one decoded message (heartbeat or predict)."""
+        kind = message_type(payload)
+        if kind == MessageType.HEARTBEAT:
+            # The heartbeat reply doubles as a health probe: it carries
+            # the container's own liveness verdict so the management
+            # plane's HealthMonitor can distinguish "transport is up but
+            # the model is sick" from plain transport liveness.
+            try:
+                healthy = bool(self._container.healthy())
+            except Exception:
+                healthy = False
+            await self._transport.send(
+                {
+                    "type": int(MessageType.HEARTBEAT_RESPONSE),
+                    "request_id": int(payload["request_id"]),
+                    "healthy": healthy,
+                }
+            )
+            return
+        if kind != MessageType.PREDICT:
+            return
+        request = RpcRequest.from_payload(payload)
+        response = await self._evaluate(request)
+        await self._transport.send(response.to_payload())
 
     async def _evaluate(self, request: RpcRequest) -> RpcResponse:
         start = time.perf_counter()

@@ -9,6 +9,15 @@ a co-located Docker container on the same host) or behind a socket.
 The in-process transport still round-trips every message through the binary
 serializer by default so that serialization overhead — part of what the
 paper's Figure 11 "top bar" measures — is paid even without a socket.
+
+Framing is copy-free on the send side: both transports encode through the
+serializer's buffer-segment (writev-style) API.  ``TcpTransport`` writes the
+4-byte header and the body segments with ``StreamWriter.writelines`` —
+header and body are never concatenated into one ``bytes`` — and the
+in-process transport passes the segment list through its queue
+unconcatenated, joining lazily on the receive side only when the frame
+actually spans multiple segments.  Decoded ndarrays are read-only zero-copy
+views into the received frame.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from typing import Optional, Tuple
 
 from repro.core.exceptions import RpcError
 from repro.rpc.protocol import MAX_FRAME_BYTES
-from repro.rpc.serialization import deserialize, serialize
+from repro.rpc.serialization import deserialize, serialize_buffers, serialized_nbytes
 
 
 class Transport:
@@ -56,7 +65,10 @@ class _QueueEndpoint(Transport):
     async def send(self, payload: dict) -> None:
         if self._closed:
             raise RpcError("transport is closed")
-        message = serialize(payload) if self._serialize else payload
+        # Serializing mode enqueues the encoder's segment list as-is: large
+        # array payloads cross the queue as zero-copy views and are only
+        # stitched together (if at all) by the receiver's decoder.
+        message = serialize_buffers(payload) if self._serialize else payload
         await self._outgoing.put(message)
 
     async def recv(self) -> dict:
@@ -66,7 +78,10 @@ class _QueueEndpoint(Transport):
         if message is None:
             self._closed = True
             raise RpcError("transport closed by peer")
-        return deserialize(message) if self._serialize else message
+        if not self._serialize:
+            return message
+        data = message[0] if len(message) == 1 else b"".join(message)
+        return deserialize(data)
 
     async def close(self) -> None:
         if not self._closed:
@@ -123,10 +138,13 @@ class TcpTransport(Transport):
     async def send(self, payload: dict) -> None:
         if self._closed:
             raise RpcError("transport is closed")
-        body = serialize(payload)
-        if len(body) > MAX_FRAME_BYTES:
-            raise RpcError(f"frame of {len(body)} bytes exceeds maximum")
-        self._writer.write(struct.pack("<I", len(body)) + body)
+        body = serialize_buffers(payload)
+        length = serialized_nbytes(body)
+        if length > MAX_FRAME_BYTES:
+            raise RpcError(f"frame of {length} bytes exceeds maximum")
+        # writev-style: header and body segments go to the stream without
+        # ever being concatenated into one frame-sized bytes object.
+        self._writer.writelines([struct.pack("<I", length), *body])
         await self._writer.drain()
 
     async def recv(self) -> dict:

@@ -76,6 +76,8 @@ class Exp3Policy(SelectionPolicy):
         probs = probs / probs.sum()
         return keys, probs
 
+    select_mutates_state = True  # select() bumps per-arm play counts
+
     def select(self, state: SelectionState, x: Any) -> List[str]:
         keys, probs = self._probabilities(state)
         choice = self._rng.choice(len(keys), p=probs)

@@ -85,20 +85,39 @@ class SelectionStateManager:
 
     def select(self, x: Any, context: Optional[str] = None) -> List[str]:
         """Choose which models to query for input ``x`` in ``context``."""
+        return self.select_with_state(x, context)[0]
+
+    def select_with_state(
+        self, x: Any, context: Optional[str] = None
+    ) -> Tuple[List[str], SelectionState]:
+        """Like :meth:`select`, but also return the context's state.
+
+        The serving engine threads the returned state into :meth:`combine`
+        for the same query, saving a second store read per prediction.
+        """
         state = self.get_state(context)
         selected = self.policy.select(state, x)
-        # select() may mutate bookkeeping inside the state (e.g. play counts).
-        self.put_state(state, context)
-        return selected
+        if self.policy.select_mutates_state:
+            # select() mutated bookkeeping inside the state (e.g. play
+            # counts); persist it.  Read-only policies skip the write-back —
+            # one store round-trip per query on the serving hot path.
+            self.put_state(state, context)
+        return selected, state
 
     def combine(
         self,
         x: Any,
         predictions: Dict[str, Any],
         context: Optional[str] = None,
+        state: Optional[SelectionState] = None,
     ) -> Tuple[Any, float]:
-        """Combine available predictions into (output, confidence)."""
-        state = self.get_state(context)
+        """Combine available predictions into (output, confidence).
+
+        ``state`` lets a caller that already holds the context's state (from
+        :meth:`select_with_state`) skip the store read.
+        """
+        if state is None:
+            state = self.get_state(context)
         return self.policy.combine(state, x, predictions)
 
     def observe(

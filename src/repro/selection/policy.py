@@ -40,6 +40,12 @@ class SelectionPolicy:
 
     name = "base"
 
+    #: Whether :meth:`select` mutates bookkeeping inside the state (e.g. play
+    #: counts).  Policies that only *read* state in select leave this False,
+    #: letting the state manager skip the per-query store write-back on the
+    #: serving hot path; :meth:`observe` is always persisted.
+    select_mutates_state = False
+
     def init(self, model_ids: Sequence[ModelId]) -> SelectionState:
         """Return the initial state for a fresh context over ``model_ids``."""
         raise NotImplementedError

@@ -142,13 +142,14 @@ class TestHashOnce:
             await clipper.start()
             record = next(iter(clipper._models.values()))
             captured = []
-            original_put = record.queue.put
+            original_put_nowait = record.queue.put_nowait
 
-            async def capturing_put(item):
+            def capturing_put_nowait(item):
                 captured.append(item)
-                await original_put(item)
+                original_put_nowait(item)
 
-            record.queue.put = capturing_put
+            # The unbounded-queue fast path enqueues via put_nowait.
+            record.queue.put_nowait = capturing_put_nowait
             x = np.arange(4.0)
             await clipper.predict(Query(app_name="hotpath-test", input=x))
             assert captured
