@@ -2,9 +2,9 @@
 
 Unlike the figure benchmarks (which reproduce the paper's evaluation), this
 benchmark measures the reproduction's own serving hot path — cache-hit,
-cache-miss (plain and serialized wide) and ensemble scenarios through a full
-Clipper instance with no-op containers — so perf-focused PRs have a number
-to move.  Run with::
+cache-miss (plain and serialized wide), ensemble and REST-edge
+(``http_predict``) scenarios through a full Clipper instance with no-op
+containers — so perf-focused PRs have a number to move.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s -q
 
@@ -38,6 +38,7 @@ def test_hotpath_scenarios():
     assert by_name["cache_hit"].qps > 200.0
     assert by_name["cache_miss_wide"].qps > 50.0
     assert by_name["ensemble"].qps > 100.0
+    assert by_name["http_predict"].qps > 20.0
     # Every scenario must comfortably meet the benchmark SLO at the median.
     for result in results:
         assert result.latency_ms["p50"] < BENCH_SLO_MS

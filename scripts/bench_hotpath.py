@@ -1,11 +1,11 @@
 #!/usr/bin/env python
 """Measure serving hot-path throughput/latency and write ``BENCH_hotpath.json``.
 
-Runs the four scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
-cache-miss, serialized wide cache-miss, four-model ensemble) through a full
-:class:`repro.core.clipper.Clipper` instance with no-op containers, and
-records p50/p99 latency and QPS per scenario so successive PRs have a perf
-trajectory to compare against.
+Runs the five scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
+cache-miss, serialized wide cache-miss, four-model ensemble, and the REST
+edge ``http_predict``) through a full :class:`repro.core.clipper.Clipper`
+instance with no-op containers, and records p50/p99 latency and QPS per
+scenario so successive PRs have a perf trajectory to compare against.
 
 Usage::
 
@@ -20,16 +20,18 @@ layout is::
         "cache_hit": {"qps": ..., "p50_ms": ..., "p99_ms": ..., ...},
         "cache_miss": {...},
         "cache_miss_wide": {...},
-        "ensemble": {...}
+        "ensemble": {...},
+        "http_predict": {...}
       }
     }
 
 Interpretation: ``qps`` is end-to-end queries/second through ``predict``;
 ``p50_ms``/``p99_ms`` are per-query latencies measured at the caller.  The
 cache-hit and ensemble scenarios are the pure-framework numbers a perf PR
-must not regress; cache-miss additionally includes batching/RPC costs, and
+must not regress; cache-miss additionally includes batching/RPC costs,
 cache-miss-wide adds the binary wire format (columnar batches, zero-copy
-decode) to the measured path.
+decode) to the measured path, and http_predict prices the REST edge (HTTP
+framing, JSON codec, schema validation) against the in-process cache_hit.
 """
 
 from __future__ import annotations

@@ -34,6 +34,12 @@ and get a working serving system.  Sub-packages:
 ``repro.management``
     The management plane: versioned model registry, live rollout/rollback,
     runtime replica scaling and health-driven replica recovery.
+``repro.api``
+    The REST surface: typed application schemas, the structured error
+    model, the versioned route table and the stdlib asyncio HTTP binding.
+``repro.client``
+    The client SDK (``ClipperClient`` / ``AdminClient``): applications talk
+    to a served Clipper over HTTP without importing the serving engine.
 ``repro.mlkit``
     A from-scratch numpy machine-learning framework standing in for
     Scikit-Learn / Spark MLlib / Caffe / TensorFlow / HTK.
@@ -49,6 +55,7 @@ and get a working serving system.  Sub-packages:
 
 from repro.core.clipper import Clipper
 from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.frontend import QueryFrontend
 from repro.core.types import Feedback, Prediction, Query
 from repro.containers.base import ModelContainer
 from repro.management.frontend import ManagementFrontend
@@ -63,6 +70,7 @@ __all__ = [
     "BatchingConfig",
     "ModelDeployment",
     "ManagementFrontend",
+    "QueryFrontend",
     "TrafficSplit",
     "Query",
     "Prediction",

@@ -1,0 +1,448 @@
+"""Stdlib asyncio HTTP/1.1 binding for the versioned route table.
+
+The thinnest possible REST edge: :class:`HttpApiServer` hosts a
+:class:`~repro.api.routes.RouteTable` on ``asyncio.start_server`` — no
+framework, no new dependencies.  It implements exactly what the serving
+surface needs:
+
+* HTTP/1.1 request parsing (request line, headers, ``Content-Length``
+  bodies) with bounded header/body sizes,
+* **keep-alive** connections (``Connection: close`` honoured; HTTP/1.0
+  defaults to close) so clients amortize the TCP handshake across queries,
+* JSON request/response bodies (binary inputs travel as base64 per the
+  application schema), with a **content-type negotiation hook**
+  (:meth:`HttpApiServer.register_content_type`) so a future binary/columnar
+  encoding can register alongside JSON without touching the handlers,
+* the structured error model: every failure — framing, routing, validation,
+  serving — renders as ``{"error": {code, status, message, detail}}``.
+
+Application lifecycle is delegated to the same
+:func:`~repro.core.frontend.start_applications` /
+:func:`~repro.core.frontend.stop_applications` helpers the frontends use:
+applications start (all-or-nothing) *before* the listening socket binds, so
+a partial start never leaves a listener accepting traffic it cannot serve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.api.errors import (
+    BadRequestError,
+    UnsupportedMediaTypeError,
+    error_payload,
+    status_of,
+)
+from repro.api.routes import RouteTable
+from repro.api.schema import json_safe
+from repro.core.frontend import start_applications, stop_applications
+
+#: Reason phrases for the statuses the API layer emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Content Too Large",
+    415: "Unsupported Media Type",
+    422: "Unprocessable Content",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+JSON_CONTENT_TYPE = "application/json"
+
+
+class _FramingError(Exception):
+    """The connection's byte stream is not parseable HTTP; cannot resync."""
+
+
+def _encode_json(body: Any) -> bytes:
+    return json.dumps(json_safe(body), separators=(",", ":")).encode("utf-8")
+
+
+def _decode_json(data: bytes) -> Any:
+    return json.loads(data.decode("utf-8"))
+
+
+class HttpApiServer:
+    """Serves a route table over HTTP/1.1 on the asyncio event loop."""
+
+    def __init__(
+        self,
+        routes: RouteTable,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        applications: Optional[Mapping[str, Any]] = None,
+        managers: Sequence[Any] = (),
+        max_body_bytes: int = 32 * 1024 * 1024,
+        max_header_count: int = 100,
+        keep_alive_timeout_s: Optional[float] = None,
+    ) -> None:
+        self.routes = routes
+        self.host = host
+        self._requested_port = port
+        # Deliberately NOT copied: the frontends' live mapping is passed by
+        # reference so applications registered after construction are still
+        # started/stopped by the server's lifecycle.
+        self._applications: Mapping[str, Any] = (
+            applications if applications is not None else {}
+        )
+        # Lifecycle managers (e.g. a ManagementFrontend, whose start() brings
+        # up health monitors and canary controllers) started after the
+        # applications and stopped before them.  Their start/stop must be
+        # idempotent for already-running state.
+        self._managers: Sequence[Any] = tuple(managers)
+        self._max_body_bytes = max_body_bytes
+        self._max_header_count = max_header_count
+        self._keep_alive_timeout_s = keep_alive_timeout_s
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._writers: set = set()
+        self._encoders: Dict[str, Callable[[Any], bytes]] = {
+            JSON_CONTENT_TYPE: _encode_json
+        }
+        self._decoders: Dict[str, Callable[[bytes], Any]] = {
+            JSON_CONTENT_TYPE: _decode_json
+        }
+        self._applications_started = False
+        self._managers_started = False
+
+    # -- content-type negotiation hook -----------------------------------------
+
+    def register_content_type(
+        self,
+        content_type: str,
+        encoder: Optional[Callable[[Any], bytes]] = None,
+        decoder: Optional[Callable[[bytes], Any]] = None,
+    ) -> None:
+        """Register an alternative wire encoding (e.g. a binary/columnar one).
+
+        Requests select the decoder through ``Content-Type`` and the encoder
+        through ``Accept``; JSON stays the default for both.
+        """
+        content_type = content_type.lower()
+        if encoder is not None:
+            self._encoders[content_type] = encoder
+        if decoder is not None:
+            self._decoders[content_type] = decoder
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def port(self) -> Optional[int]:
+        """The bound port (None until :meth:`start` succeeds)."""
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> str:
+        """``http://host:port`` of the listening socket."""
+        port = self.port
+        if port is None:
+            raise RuntimeError("server is not listening")
+        return f"http://{self.host}:{port}"
+
+    @property
+    def is_serving(self) -> bool:
+        return self._server is not None and self._server.is_serving()
+
+    async def start(self) -> None:
+        """Start applications and lifecycle managers, then bind the socket.
+
+        All-or-nothing like the frontends: applications first (a failure
+        stops the ones already up), then the managers (a
+        ``ManagementFrontend``'s health monitors and canary controllers),
+        and only then the listener — so **no listener is ever bound** to
+        backends that cannot serve.  Any later failure unwinds everything
+        started before the error propagates.
+        """
+        if self._server is not None:
+            return
+        if self._applications:
+            await start_applications(self._applications)
+            self._applications_started = True
+        started_managers = []
+        try:
+            for manager in self._managers:
+                await manager.start()
+                started_managers.append(manager)
+            self._managers_started = True
+            self._server = await asyncio.start_server(
+                self._serve_connection, host=self.host, port=self._requested_port
+            )
+        except BaseException:
+            self._managers_started = False
+            for manager in reversed(started_managers):
+                try:
+                    await manager.stop()
+                except Exception:
+                    pass  # surface the original failure, not the unwind
+            if self._applications_started:
+                self._applications_started = False
+                try:
+                    await stop_applications(self._applications)
+                except Exception:
+                    pass  # surface the original failure, not the unwind
+            raise
+
+    async def stop(self) -> None:
+        """Close the listener and connections, then managers, then applications."""
+        if self._server is not None:
+            self._server.close()
+            for writer in list(self._writers):
+                writer.close()
+            try:
+                await self._server.wait_closed()
+            finally:
+                self._server = None
+        if self._managers_started:
+            self._managers_started = False
+            for manager in reversed(self._managers):
+                await manager.stop()
+        if self._applications_started:
+            self._applications_started = False
+            await stop_applications(self._applications)
+
+    async def __aenter__(self) -> "HttpApiServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        sock = writer.get_extra_info("socket")
+        if sock is not None and sock.family in (socket.AF_INET, socket.AF_INET6):
+            # Responses are written whole; never trade latency for batching.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    request = await self._read_request(reader)
+                except _FramingError as exc:
+                    # The stream cannot be re-synchronized: answer once and
+                    # hang up.
+                    await self._write_response(
+                        writer,
+                        400,
+                        error_payload(BadRequestError(str(exc))),
+                        JSON_CONTENT_TYPE,
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break  # client closed cleanly between requests
+                method, path, headers, body_bytes = request
+                keep_alive = self._wants_keep_alive(headers)
+                status, body, accept = await self._dispatch(
+                    method, path, headers, body_bytes
+                )
+                content_type = (
+                    accept if accept in self._encoders else JSON_CONTENT_TYPE
+                )
+                await self._write_response(
+                    writer, status, body, content_type, keep_alive=keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            ConnectionResetError,
+            BrokenPipeError,
+            asyncio.IncompleteReadError,
+        ):
+            pass  # peer went away mid-exchange; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+        """Parse one request; None on clean EOF, :class:`_FramingError` on junk."""
+        try:
+            if self._keep_alive_timeout_s is not None:
+                request_line = await asyncio.wait_for(
+                    reader.readline(), timeout=self._keep_alive_timeout_s
+                )
+            else:
+                request_line = await reader.readline()
+        except asyncio.TimeoutError:
+            return None
+        except ValueError:
+            raise _FramingError("request line exceeds the size limit") from None
+        if not request_line or request_line in (b"\r\n", b"\n"):
+            return None
+        try:
+            parts = request_line.decode("ascii").split()
+        except UnicodeDecodeError:
+            raise _FramingError("request line is not ASCII") from None
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            raise _FramingError("malformed HTTP request line")
+        method, target, version = parts
+        headers: Dict[str, str] = {"_http_version": version}
+        # One extra iteration beyond the limit for the terminating blank
+        # line, so a request with exactly max_header_count headers passes.
+        for _ in range(self._max_header_count + 1):
+            try:
+                line = await reader.readline()
+            except ValueError:
+                raise _FramingError("header line exceeds the size limit") from None
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _FramingError("malformed HTTP header line")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _FramingError("too many HTTP headers")
+        if "chunked" in headers.get("transfer-encoding", "").lower():
+            raise _FramingError("chunked request bodies are not supported")
+        body = b""
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError:
+                raise _FramingError("Content-Length is not an integer") from None
+            if length < 0:
+                raise _FramingError("Content-Length is negative")
+            if length > self._max_body_bytes:
+                raise _FramingError(
+                    f"request body exceeds the {self._max_body_bytes}-byte limit"
+                )
+            if length:
+                try:
+                    body = await reader.readexactly(length)
+                except asyncio.IncompleteReadError:
+                    return None  # peer hung up mid-body
+        path = target.split("?", 1)[0]
+        return method, path, headers, body
+
+    @staticmethod
+    def _wants_keep_alive(headers: Dict[str, str]) -> bool:
+        connection = headers.get("connection", "").lower()
+        if "close" in connection:
+            return False
+        if headers.get("_http_version") == "HTTP/1.0":
+            return "keep-alive" in connection
+        return True  # HTTP/1.1 default
+
+    async def _dispatch(
+        self, method: str, path: str, headers: Dict[str, str], body_bytes: bytes
+    ) -> Tuple[int, Any, str]:
+        """Route one request; every failure renders as the structured error."""
+        accept = headers.get("accept", JSON_CONTENT_TYPE).split(";")[0].strip().lower()
+        try:
+            body: Any = None
+            if body_bytes:
+                content_type = (
+                    headers.get("content-type", JSON_CONTENT_TYPE)
+                    .split(";")[0]
+                    .strip()
+                    .lower()
+                )
+                decoder = self._decoders.get(content_type)
+                if decoder is None:
+                    raise UnsupportedMediaTypeError(
+                        f"no decoder registered for content type '{content_type}'",
+                        detail={"supported": sorted(self._decoders)},
+                    )
+                try:
+                    body = decoder(body_bytes)
+                except UnsupportedMediaTypeError:
+                    raise
+                except Exception:
+                    raise BadRequestError(
+                        f"request body is not valid {content_type}"
+                    ) from None
+            response = await self.routes.dispatch(method, path, body)
+            return response.status, response.body, accept
+        except Exception as exc:  # noqa: BLE001 — the edge maps everything
+            return status_of(exc), error_payload(exc), accept
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: Any,
+        content_type: str,
+        keep_alive: bool,
+    ) -> None:
+        encoder = self._encoders.get(content_type, _encode_json)
+        try:
+            payload = encoder(body)
+        except Exception:
+            # A response the negotiated encoder cannot represent is an
+            # internal error; fall back to the JSON error shape.
+            content_type = JSON_CONTENT_TYPE
+            status = 500
+            payload = _encode_json(error_payload(Exception()))
+        reason = _REASONS.get(status, "Unknown")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        writer.write(head + payload)
+        await writer.drain()
+
+
+def create_server(
+    query=None,
+    admin=None,
+    factories: Optional[Mapping[str, Callable[[], object]]] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **server_kwargs: Any,
+) -> HttpApiServer:
+    """Build the route table over the frontends and wrap it in a server.
+
+    The server owns the lifecycle of every application either frontend
+    hosts — including ones registered *after* this call: the frontends'
+    live mappings are handed to the server by reference (a
+    :class:`~collections.ChainMap` view when both frontends are given), so
+    :meth:`HttpApiServer.start` brings up exactly the applications hosted
+    at start time (all-or-nothing) before binding, and
+    :meth:`HttpApiServer.stop` stops the ones hosted at stop time.  An
+    ``admin`` frontend is also registered as a lifecycle *manager*: the
+    server starts/stops it, so its health monitors and canary controllers
+    run whenever the server serves (both are idempotent if the operator
+    already started the frontend themselves).
+    """
+    from collections import ChainMap
+
+    from repro.api.handlers import build_route_table
+
+    maps = [
+        frontend.hosted_applications()
+        for frontend in (query, admin)
+        if frontend is not None
+    ]
+    applications: Mapping[str, Any] = maps[0] if len(maps) == 1 else ChainMap(*maps)
+    routes = build_route_table(query=query, admin=admin, factories=factories)
+    return HttpApiServer(
+        routes,
+        host=host,
+        port=port,
+        applications=applications,
+        managers=(admin,) if admin is not None else (),
+        **server_kwargs,
+    )

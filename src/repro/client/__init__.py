@@ -1,0 +1,42 @@
+"""Client SDK for the Clipper REST API.
+
+Applications and operator tooling import this package — and nothing else
+from the library — to talk to a served Clipper: the serving engine stays on
+the other side of the HTTP boundary, exactly as in the paper's Figure 2.
+"""
+
+from repro.client.client import (
+    AdminClient,
+    ApiStatusError,
+    AsyncAdminClient,
+    AsyncClipperClient,
+    ClipperClient,
+    ClipperClientError,
+    DeadlineMissed,
+    InvalidInput,
+    MalformedRequest,
+    ManagementConflict,
+    PredictionResult,
+    RouteNotFound,
+    ServerError,
+    TransportError,
+    UnknownApplication,
+)
+
+__all__ = [
+    "AdminClient",
+    "ApiStatusError",
+    "AsyncAdminClient",
+    "AsyncClipperClient",
+    "ClipperClient",
+    "ClipperClientError",
+    "DeadlineMissed",
+    "InvalidInput",
+    "MalformedRequest",
+    "ManagementConflict",
+    "PredictionResult",
+    "RouteNotFound",
+    "ServerError",
+    "TransportError",
+    "UnknownApplication",
+]

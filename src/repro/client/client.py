@@ -1,0 +1,560 @@
+"""Async and sync clients for the Clipper REST API.
+
+The application side of the paper's Figure 2: an application never imports
+the serving library — it talks to Clipper over REST.  This module is that
+application's half of the contract, deliberately free of any import from the
+serving engine (:mod:`repro.core` and friends):
+
+* :class:`AsyncClipperClient` / :class:`ClipperClient` — the two application
+  verbs, ``predict`` and ``update``, plus schema/health introspection.
+* :class:`AsyncAdminClient` / :class:`AdminClient` — the operator verbs of
+  the management API (deploy, scale, rollout/rollback, the canary verbs,
+  models/health/metrics/routing).
+
+Both speak minimal HTTP/1.1 over a single **keep-alive** connection
+(re-established transparently when the server closes it between requests),
+encode numpy arrays as JSON arrays and ``bytes`` as base64 per the
+application schema, and raise **typed exceptions mirroring the server's
+structured error model**: the ``code`` field of the wire error selects the
+exception class, so ``except UnknownApplication:`` works the same whether
+the check failed client-side or three machines away.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+API_PREFIX = "/api/v1"
+
+
+# -- typed exceptions mirroring the wire error model ---------------------------
+
+
+class ClipperClientError(Exception):
+    """Base class for every error raised by the client SDK."""
+
+
+class TransportError(ClipperClientError):
+    """The connection failed before a complete HTTP response arrived."""
+
+
+class ApiStatusError(ClipperClientError):
+    """The server answered with a structured error payload."""
+
+    def __init__(
+        self, status: int, code: str, message: str, detail: Optional[Dict] = None
+    ) -> None:
+        super().__init__(f"[{status} {code}] {message}")
+        self.status = status
+        self.code = code
+        self.message = message
+        self.detail = dict(detail or {})
+
+
+class UnknownApplication(ApiStatusError):
+    """The request named an application the server does not host (404)."""
+
+
+class RouteNotFound(ApiStatusError):
+    """The request path matched no route (404)."""
+
+
+class MalformedRequest(ApiStatusError):
+    """The request body was structurally invalid (400)."""
+
+
+class InvalidInput(ApiStatusError):
+    """The input violated the application's declared schema (422)."""
+
+
+class DeadlineMissed(ApiStatusError):
+    """The prediction missed its SLO and the application has no default (504)."""
+
+
+class ManagementConflict(ApiStatusError):
+    """An operator verb conflicted with the durable serving record (409)."""
+
+
+class ServerError(ApiStatusError):
+    """The server failed internally (5xx without a more specific code)."""
+
+
+#: Wire error ``code`` → exception class.  Unknown codes fall back by status.
+_ERRORS_BY_CODE = {
+    "unknown_application": UnknownApplication,
+    "route_not_found": RouteNotFound,
+    "method_not_allowed": MalformedRequest,
+    "malformed_request": MalformedRequest,
+    "unsupported_media_type": MalformedRequest,
+    "invalid_input": InvalidInput,
+    "invalid_configuration": MalformedRequest,
+    "deadline_missed": DeadlineMissed,
+    "management_conflict": ManagementConflict,
+    "deployment_conflict": ManagementConflict,
+    "routing_conflict": ManagementConflict,
+    "duplicate_application": ManagementConflict,
+}
+
+
+def error_from_response(status: int, payload: Any) -> ApiStatusError:
+    """Build the typed exception for a non-2xx response."""
+    error = payload.get("error", {}) if isinstance(payload, dict) else {}
+    code = error.get("code", "internal")
+    message = error.get("message", f"HTTP {status}")
+    detail = error.get("detail")
+    cls = _ERRORS_BY_CODE.get(code)
+    if cls is None:
+        cls = ServerError if status >= 500 else ApiStatusError
+    return cls(status, code, message, detail)
+
+
+# -- wire helpers --------------------------------------------------------------
+
+
+def encode_input(x: Any) -> Any:
+    """Render a query input as its JSON wire value.
+
+    Numpy arrays/scalars become JSON numbers or arrays; ``bytes`` become
+    base64 text (the server's schema decodes them back); everything else
+    must already be JSON-representable.
+    """
+    if isinstance(x, np.ndarray):
+        return x.tolist()
+    if isinstance(x, np.generic):
+        return x.item()
+    if isinstance(x, (bytes, bytearray, memoryview)):
+        return base64.b64encode(bytes(x)).decode("ascii")
+    if isinstance(x, (list, tuple)):
+        # Recurse only when an element actually needs conversion — plain
+        # numeric vectors (the common case) pass through untouched instead
+        # of paying one Python call per feature.
+        if any(not isinstance(item, (int, float, str)) for item in x):
+            return [encode_input(item) for item in x]
+        return list(x)
+    return x
+
+
+@dataclass
+class PredictionResult:
+    """One prediction as returned over the wire."""
+
+    query_id: int
+    app_name: str
+    output: Any
+    confidence: float
+    latency_ms: float
+    default_used: bool
+    models_used: List[str] = field(default_factory=list)
+    models_missing: List[str] = field(default_factory=list)
+    from_cache: bool = False
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "PredictionResult":
+        return cls(
+            query_id=payload.get("query_id", -1),
+            app_name=payload.get("app_name", ""),
+            output=payload.get("output"),
+            confidence=payload.get("confidence", 0.0),
+            latency_ms=payload.get("latency_ms", 0.0),
+            default_used=payload.get("default_used", False),
+            models_used=list(payload.get("models_used", [])),
+            models_missing=list(payload.get("models_missing", [])),
+            from_cache=payload.get("from_cache", False),
+        )
+
+
+class _StaleConnection(Exception):
+    """The server closed the keep-alive connection before answering at all."""
+
+
+class _HttpConnection:
+    """One keep-alive HTTP/1.1 connection with transparent re-connect.
+
+    The idle keep-alive race (the server closed the connection between
+    requests) is handled in two tiers: before sending *any* request, a
+    connection already at EOF is replaced; if the race still hits mid-flight
+    (send fails, or the first read returns EOF), only **GET** requests are
+    retried once on a fresh connection.  A POST that may have reached the
+    server is never re-issued — deploy or update executing twice is worse
+    than surfacing a :class:`TransportError` — and once the first response
+    byte has been read, any failure is terminal for the same reason.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    @property
+    def is_connected(self) -> bool:
+        return (
+            self._writer is not None
+            and not self._writer.is_closing()
+            and self._reader is not None
+            and not self._reader.at_eof()
+        )
+
+    async def connect(self) -> None:
+        if self.is_connected:
+            return
+        await self._reset()
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from None
+        sock = self._writer.get_extra_info("socket")
+        if sock is not None and sock.family in (socket.AF_INET, socket.AF_INET6):
+            # Each request is one write; don't let Nagle hold it back.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    async def close(self) -> None:
+        await self._reset()
+
+    async def _reset(self) -> None:
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def request(
+        self, method: str, path: str, body: Any = None
+    ) -> Tuple[int, Any]:
+        """Issue one request, returning ``(status, decoded JSON payload)``."""
+        retriable = method.upper() == "GET"
+        for attempt in (0, 1):
+            await self.connect()
+            try:
+                return await self._round_trip(method, path, body)
+            except _StaleConnection as exc:
+                # Nothing of the response arrived.  Only an idempotent GET
+                # is silently re-issued; a POST may have executed
+                # server-side and must not run twice.
+                await self._reset()
+                if attempt or not retriable:
+                    raise TransportError(
+                        f"{method} {path} failed: {exc.args[0]}"
+                    ) from None
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+                OSError,
+            ) as exc:
+                # The connection died mid-response: the request may have
+                # executed server-side, so never re-issue it.
+                await self._reset()
+                raise TransportError(f"{method} {path} failed: {exc!r}") from None
+        raise AssertionError("unreachable")
+
+    async def _round_trip(self, method: str, path: str, body: Any) -> Tuple[int, Any]:
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Accept: application/json\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "\r\n"
+        ).encode("ascii")
+        try:
+            self._writer.write(head + payload)
+            await self._writer.drain()
+            status_line = await self._reader.readline()
+        except (ConnectionResetError, BrokenPipeError, OSError) as exc:
+            # Failed while sending / before the first response byte — the
+            # server closed the idle connection; an incomplete request is
+            # discarded server-side, so this is retriable.
+            raise _StaleConnection(f"connection lost before a response: {exc}") from None
+        if not status_line:
+            raise _StaleConnection("server closed the idle connection")
+        parts = status_line.decode("ascii", "replace").split(maxsplit=2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise TransportError(f"malformed status line: {status_line!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b"\n"):
+                break
+            if not line:
+                raise ConnectionResetError("connection closed inside headers")
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        data = await self._reader.readexactly(length) if length else b""
+        if "close" in headers.get("connection", "").lower():
+            await self._reset()
+        decoded = json.loads(data.decode("utf-8")) if data else None
+        return status, decoded
+
+
+class _BaseAsyncClient:
+    """Shared plumbing: one connection, error mapping, context management."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080) -> None:
+        self._conn = _HttpConnection(host, port)
+
+    async def connect(self) -> None:
+        """Eagerly open the connection (otherwise opened on first request)."""
+        await self._conn.connect()
+
+    async def close(self) -> None:
+        await self._conn.close()
+
+    async def __aenter__(self):
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _call(self, method: str, path: str, body: Any = None) -> Any:
+        status, payload = await self._conn.request(method, path, body)
+        if status >= 400:
+            raise error_from_response(status, payload)
+        return payload
+
+
+class AsyncClipperClient(_BaseAsyncClient):
+    """The application's view of Clipper: ``predict`` and ``update`` over REST."""
+
+    async def predict(
+        self,
+        app_name: str,
+        x: Any,
+        user_id: Optional[str] = None,
+        latency_slo_ms: Optional[float] = None,
+    ) -> PredictionResult:
+        """Request a prediction from the named application."""
+        body: Dict[str, Any] = {"input": encode_input(x)}
+        if user_id is not None:
+            body["user_id"] = user_id
+        if latency_slo_ms is not None:
+            body["latency_slo_ms"] = latency_slo_ms
+        payload = await self._call(
+            "POST", f"{API_PREFIX}/{app_name}/predict", body
+        )
+        return PredictionResult.from_payload(payload)
+
+    async def update(
+        self,
+        app_name: str,
+        x: Any,
+        label: Any,
+        user_id: Optional[str] = None,
+    ) -> None:
+        """Send ground-truth feedback for an earlier prediction."""
+        body: Dict[str, Any] = {"input": encode_input(x), "label": encode_input(label)}
+        if user_id is not None:
+            body["user_id"] = user_id
+        await self._call("POST", f"{API_PREFIX}/{app_name}/update", body)
+
+    async def applications(self) -> List[Dict[str, Any]]:
+        """The schemas of every application the server hosts."""
+        payload = await self._call("GET", f"{API_PREFIX}/applications")
+        return payload["applications"]
+
+    async def schema(self, app_name: str) -> Dict[str, Any]:
+        """The declared serving contract of one application."""
+        return await self._call("GET", f"{API_PREFIX}/{app_name}/schema")
+
+    async def health(self) -> Dict[str, Any]:
+        """Server liveness plus the hosted application names."""
+        return await self._call("GET", f"{API_PREFIX}/health")
+
+
+class AsyncAdminClient(_BaseAsyncClient):
+    """The operator's view: the management verbs of the admin API."""
+
+    async def deploy(
+        self,
+        app_name: str,
+        model_name: str,
+        factory: str,
+        version: Optional[int] = None,
+        num_replicas: Optional[int] = None,
+        batching: Optional[Dict[str, Any]] = None,
+        serialize_rpc: Optional[bool] = None,
+        activate: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        """Deploy a model version built from a server-registered factory."""
+        body: Dict[str, Any] = {"model_name": model_name, "factory": factory}
+        if version is not None:
+            body["version"] = version
+        if num_replicas is not None:
+            body["num_replicas"] = num_replicas
+        if batching is not None:
+            body["batching"] = batching
+        if serialize_rpc is not None:
+            body["serialize_rpc"] = serialize_rpc
+        if activate is not None:
+            body["activate"] = activate
+        return await self._call(
+            "POST", f"{API_PREFIX}/admin/{app_name}/deploy", body
+        )
+
+    async def undeploy(self, app_name: str, model: str) -> Dict[str, Any]:
+        return await self._call(
+            "POST", f"{API_PREFIX}/admin/{app_name}/undeploy", {"model": model}
+        )
+
+    async def scale(
+        self, app_name: str, model: str, num_replicas: int
+    ) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/scale",
+            {"model": model, "num_replicas": num_replicas},
+        )
+
+    async def rollout(
+        self, app_name: str, model_name: str, version: int
+    ) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/rollout",
+            {"model_name": model_name, "version": version},
+        )
+
+    async def rollback(self, app_name: str, model_name: str) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/rollback",
+            {"model_name": model_name},
+        )
+
+    async def start_canary(
+        self, app_name: str, model_name: str, version: int, weight: float
+    ) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/start_canary",
+            {"model_name": model_name, "version": version, "weight": weight},
+        )
+
+    async def adjust_canary(
+        self, app_name: str, model_name: str, weight: float
+    ) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/adjust_canary",
+            {"model_name": model_name, "weight": weight},
+        )
+
+    async def promote(self, app_name: str, model_name: str) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/promote",
+            {"model_name": model_name},
+        )
+
+    async def abort_canary(self, app_name: str, model_name: str) -> Dict[str, Any]:
+        return await self._call(
+            "POST",
+            f"{API_PREFIX}/admin/{app_name}/abort_canary",
+            {"model_name": model_name},
+        )
+
+    async def models(self, app_name: str) -> Dict[str, Any]:
+        payload = await self._call("GET", f"{API_PREFIX}/admin/{app_name}/models")
+        return payload["models"]
+
+    async def model_info(self, app_name: str, model_name: str) -> Dict[str, Any]:
+        return await self._call(
+            "GET", f"{API_PREFIX}/admin/{app_name}/models/{model_name}"
+        )
+
+    async def health(self, app_name: str) -> Dict[str, Any]:
+        return await self._call("GET", f"{API_PREFIX}/admin/{app_name}/health")
+
+    async def metrics(self, app_name: str) -> Dict[str, Any]:
+        return await self._call("GET", f"{API_PREFIX}/admin/{app_name}/metrics")
+
+    async def routing(self, app_name: str) -> Dict[str, Any]:
+        payload = await self._call("GET", f"{API_PREFIX}/admin/{app_name}/routing")
+        return payload["routing"]
+
+
+class _SyncWrapper:
+    """Runs an async client's coroutines on a private event loop."""
+
+    _async_cls = None
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080) -> None:
+        self._loop = asyncio.new_event_loop()
+        self._client = self._async_cls(host, port)
+
+    def _run(self, coroutine):
+        return self._loop.run_until_complete(coroutine)
+
+    def connect(self) -> None:
+        self._run(self._client.connect())
+
+    def close(self) -> None:
+        self._run(self._client.close())
+        self._loop.close()
+
+    def __enter__(self):
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ClipperClient(_SyncWrapper):
+    """Blocking wrapper around :class:`AsyncClipperClient`."""
+
+    _async_cls = AsyncClipperClient
+
+    def predict(self, app_name, x, user_id=None, latency_slo_ms=None):
+        return self._run(
+            self._client.predict(
+                app_name, x, user_id=user_id, latency_slo_ms=latency_slo_ms
+            )
+        )
+
+    def update(self, app_name, x, label, user_id=None):
+        return self._run(self._client.update(app_name, x, label, user_id=user_id))
+
+    def applications(self):
+        return self._run(self._client.applications())
+
+    def schema(self, app_name):
+        return self._run(self._client.schema(app_name))
+
+    def health(self):
+        return self._run(self._client.health())
+
+
+class AdminClient(_SyncWrapper):
+    """Blocking wrapper around :class:`AsyncAdminClient`."""
+
+    _async_cls = AsyncAdminClient
+
+    def __getattr__(self, name):
+        verb = getattr(self._client, name)
+        if not callable(verb):
+            raise AttributeError(name)
+
+        def call(*args, **kwargs):
+            return self._run(verb(*args, **kwargs))
+
+        return call

@@ -151,7 +151,22 @@ class ClipperConfig:
         model predictions is available (§5.2.2).
     default_output:
         Sensible default returned when no model prediction is available by the
-        deadline and the application opted into robust defaults.
+        deadline and the application opted into robust defaults.  When an
+        ``output_type`` is declared the default is validated against it at
+        construction, so a contradiction surfaces before serving starts.
+    input_type:
+        Declared input type of the application — ``"ints"``, ``"floats"``,
+        ``"doubles"``, ``"bytes"`` or ``"strings"``, per the paper's
+        application registration.  ``None`` (default) leaves the application
+        untyped: inputs pass through unvalidated.  With a declared type,
+        every query input — in-process or HTTP — is validated and coerced at
+        the frontend edge before a ``Query`` is built.
+    input_shape:
+        Optional exact input shape enforced together with ``input_type``
+        (e.g. ``(196,)`` for a 196-feature vector).
+    output_type:
+        Declared output type (same vocabulary as ``input_type``), used to
+        validate ``default_output`` and reported through the admin API.
     slo_fraction_for_batching:
         Fraction of the SLO budgeted to a single batch evaluation; the rest
         covers queueing, RPC and combination overhead.
@@ -170,6 +185,9 @@ class ClipperConfig:
     cache_eviction: str = "clock"
     straggler_mitigation: bool = True
     default_output: Optional[object] = None
+    input_type: Optional[str] = None
+    input_shape: Optional[tuple] = None
+    output_type: Optional[str] = None
     confidence_threshold: float = 0.0
     slo_fraction_for_batching: float = 1.0
     routing_seed: int = 0
@@ -186,6 +204,37 @@ class ClipperConfig:
             raise ConfigurationError("slo_fraction_for_batching must be in (0, 1]")
         if not 0.0 <= self.confidence_threshold <= 1.0:
             raise ConfigurationError("confidence_threshold must be in [0, 1]")
+        # The typed-schema vocabulary lives in the API layer; the import is
+        # deferred to construction time to keep the core free of import
+        # cycles (repro.api builds on repro.core).
+        from repro.api.schema import check_output_value, check_type_name
+
+        if self.input_type is not None:
+            check_type_name(self.input_type)
+        if self.output_type is not None:
+            check_type_name(self.output_type)
+        if self.input_shape is not None:
+            shape = tuple(self.input_shape)
+            if not shape or not all(
+                isinstance(dim, int) and not isinstance(dim, bool) and dim > 0
+                for dim in shape
+            ):
+                raise ConfigurationError(
+                    "input_shape must be a non-empty tuple of positive ints"
+                )
+            self.input_shape = shape
+            if self.input_type is None:
+                raise ConfigurationError(
+                    "input_shape requires a declared input_type"
+                )
+            if self.input_type in {"bytes", "strings"}:
+                raise ConfigurationError(
+                    f"input_shape does not apply to input_type '{self.input_type}'"
+                )
+        if self.default_output is not None and self.output_type is not None:
+            check_output_value(
+                self.output_type, self.default_output, what="default_output"
+            )
 
     @property
     def batch_latency_budget_ms(self) -> float:

@@ -2,41 +2,78 @@
 
 Every error raised by the library derives from :class:`ClipperError` so that
 applications can install a single catch-all handler around the serving path.
+
+Each class additionally carries the structured error model used by the REST
+surface (:mod:`repro.api`): a stable machine-readable ``code`` and the HTTP
+``http_status`` the error maps to at the boundary.  In-process callers catch
+the exception types; HTTP callers receive ``{"error": {"code", "status",
+"message", "detail"}}`` built from the same attributes, so both surfaces
+report identical failures.  Instances may attach a ``detail`` dict with
+error-specific context (e.g. the expected and received input shape).
 """
 
 from __future__ import annotations
+
+from typing import Any, Dict, Optional
 
 
 class ClipperError(Exception):
     """Base class for all errors raised by the repro library."""
 
+    #: Stable machine-readable error code crossing the API boundary.
+    code: str = "internal"
+    #: HTTP status the error maps to at the REST edge.
+    http_status: int = 500
+
+    def __init__(self, *args: object, detail: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(*args)
+        self.detail: Dict[str, Any] = dict(detail or {})
+
 
 class ConfigurationError(ClipperError):
     """Raised when a configuration object is internally inconsistent."""
+
+    code = "invalid_configuration"
+    http_status = 400
 
 
 class DeploymentError(ClipperError):
     """Raised when a model cannot be deployed (duplicate name, bad container)."""
 
+    code = "deployment_conflict"
+    http_status = 409
+
 
 class ContainerError(ClipperError):
     """Raised when a model container fails while evaluating a batch."""
 
+    code = "container_failure"
+    http_status = 502
+
     def __init__(self, model_id: str, message: str) -> None:
         super().__init__(f"container for model '{model_id}' failed: {message}")
         self.model_id = model_id
+        self.detail = {"model": model_id}
 
 
 class RpcError(ClipperError):
     """Raised when the RPC layer fails to complete a request."""
 
+    code = "rpc_failure"
+    http_status = 502
+
 
 class SerializationError(RpcError):
     """Raised when a message cannot be encoded or decoded."""
 
+    code = "serialization_failure"
+
 
 class PredictionTimeoutError(ClipperError):
     """Raised when a prediction misses its latency deadline and no default exists."""
+
+    code = "deadline_missed"
+    http_status = 504
 
     def __init__(self, query_id: int, deadline_ms: float) -> None:
         super().__init__(
@@ -44,23 +81,79 @@ class PredictionTimeoutError(ClipperError):
         )
         self.query_id = query_id
         self.deadline_ms = deadline_ms
+        self.detail = {"query_id": query_id, "deadline_ms": deadline_ms}
 
 
 class SelectionPolicyError(ClipperError):
     """Raised when a selection policy is misused or misconfigured."""
 
+    code = "selection_policy_error"
+
 
 class CacheError(ClipperError):
     """Raised when the prediction cache is misconfigured."""
+
+    code = "cache_error"
 
 
 class StateStoreError(ClipperError):
     """Raised by the key-value state store on invalid operations."""
 
+    code = "state_store_error"
+
 
 class ManagementError(ClipperError):
     """Raised by the management plane (registry conflicts, invalid lifecycle ops)."""
 
+    code = "management_conflict"
+    http_status = 409
+
 
 class RoutingError(ClipperError):
     """Raised by the routing layer (invalid splits, canary lifecycle misuse)."""
+
+    code = "routing_conflict"
+    http_status = 409
+
+
+class BadRequestError(ClipperError):
+    """Raised when a request crossing the API boundary is structurally malformed.
+
+    Covers everything that fails before the application schema is even
+    consulted: a body that is not a JSON object, a missing required field, a
+    field of the wrong JSON type.
+    """
+
+    code = "malformed_request"
+    http_status = 400
+
+
+class ValidationError(ClipperError):
+    """Raised when a request input violates the application's declared schema.
+
+    Distinct from :class:`BadRequestError`: the request was well-formed, but
+    its input does not conform to the application's registered input type or
+    shape (HTTP 422, unprocessable content).
+    """
+
+    code = "invalid_input"
+    http_status = 422
+
+
+class UnknownApplicationError(ManagementError):
+    """Raised when a request names an application no frontend hosts.
+
+    Raised by both the query and the management frontend (it subclasses
+    :class:`ManagementError` so operator tooling keeps one catch point); maps
+    to HTTP 404 at the REST edge.
+    """
+
+    code = "unknown_application"
+    http_status = 404
+
+
+class DuplicateApplicationError(ManagementError):
+    """Raised when registering an application name a frontend already hosts."""
+
+    code = "duplicate_application"
+    http_status = 409

@@ -24,6 +24,13 @@ scenarios isolate the framework cost per query:
     query fans out to all models; after warm-up each fan-out is a cache
     hit, so the scenario stresses per-model bookkeeping (hashing, cache
     lookups, metrics) multiplied by the ensemble width.
+``http_predict``
+    The ``cache_hit`` workload driven through the full REST edge: an
+    :class:`~repro.api.http.HttpApiServer` on loopback TCP, queried by
+    keep-alive :class:`~repro.client.AsyncClipperClient` connections.  The
+    delta against ``cache_hit`` is the price of the HTTP framing, JSON
+    codec and schema validation per request — the REST-edge overhead this
+    PR's API layer adds to an in-process ``predict``.
 
 Each scenario returns a :class:`HotpathResult` with QPS and the latency
 distribution, consumed by ``benchmarks/bench_hotpath.py`` (pytest) and
@@ -197,6 +204,68 @@ async def run_cache_miss_wide(
     return _result("cache_miss_wide", elapsed, latencies)
 
 
+async def run_http_predict(
+    num_queries: int = 2000, concurrency: int = 8
+) -> HotpathResult:
+    """The cache-hit workload through the REST edge (server + client SDK).
+
+    ``concurrency`` keep-alive client connections each issue a sequential
+    stream of predicts for one repeated input; the server side is a pure
+    cache hit, so the measured cost is request parsing, JSON coding, schema
+    validation and the loopback round-trip — the REST-edge overhead on top
+    of the in-process ``cache_hit`` number.
+    """
+    from repro.api.http import create_server
+    from repro.client import AsyncClipperClient
+    from repro.core.frontend import QueryFrontend
+
+    # Declared schema so the edge validates and coerces every request —
+    # the full REST path, not a pass-through shortcut.
+    clipper = Clipper(
+        ClipperConfig(
+            app_name="hotpath",
+            latency_slo_ms=BENCH_SLO_MS,
+            selection_policy="single",
+            input_type="doubles",
+            input_shape=(INPUT_FEATURES,),
+        )
+    )
+    clipper.deploy_model(_noop_deployment("noop"))
+    frontend = QueryFrontend()
+    frontend.register_application(clipper)
+    server = create_server(query=frontend)
+    await server.start()
+    latencies: List[float] = []
+    try:
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(INPUT_FEATURES).tolist()
+        clients = [
+            AsyncClipperClient("127.0.0.1", server.port) for _ in range(concurrency)
+        ]
+        try:
+            # Warm connections and the server-side prediction cache.
+            for client in clients:
+                await client.predict("hotpath", x)
+
+            per_client = max(1, num_queries // concurrency)
+
+            async def drive(client: AsyncClipperClient) -> None:
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    await client.predict("hotpath", x)
+                    latencies.append((time.perf_counter() - t0) * 1000.0)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(drive(client) for client in clients))
+            elapsed = time.perf_counter() - start
+        finally:
+            for client in clients:
+                await client.close()
+    finally:
+        await server.stop()
+    return _result("http_predict", elapsed, latencies)
+
+
 async def run_ensemble(num_queries: int = 3000, width: int = 4) -> HotpathResult:
     """Four-model ensemble, repeated input: per-model bookkeeping × width."""
     clipper = _ensemble_clipper(width=width)
@@ -222,6 +291,7 @@ def run_all(quick: bool = False) -> List[HotpathResult]:
             await run_cache_miss(num_queries=2000 // scale),
             await run_cache_miss_wide(num_queries=2000 // scale),
             await run_ensemble(num_queries=3000 // scale),
+            await run_http_predict(num_queries=2000 // scale),
         ]
 
     return asyncio.run(_run())

@@ -33,12 +33,16 @@ decisions update the durable registry exactly like operator-issued ones.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Optional
 
 from repro.core.clipper import Clipper
 from repro.core.config import ModelDeployment
 from repro.core.exceptions import ManagementError
-from repro.core.frontend import start_applications, stop_applications
+from repro.core.frontend import (
+    ApplicationHost,
+    start_applications,
+    stop_applications,
+)
 from repro.core.types import ModelId
 from repro.management.health import HealthMonitor
 from repro.management.records import ReplicaHealth
@@ -48,7 +52,7 @@ from repro.routing.split import TrafficSplit
 from repro.state.kvstore import KeyValueStore
 
 
-class ManagementFrontend:
+class ManagementFrontend(ApplicationHost):
     """Routes lifecycle operations to applications and records them durably."""
 
     def __init__(
@@ -60,8 +64,8 @@ class ManagementFrontend:
         manage_canaries: bool = True,
         canary_kwargs: Optional[Dict[str, Any]] = None,
     ) -> None:
+        super().__init__()
         self.registry = registry or ModelRegistry(store=store)
-        self._applications: Dict[str, Clipper] = {}
         self._monitors: Dict[str, HealthMonitor] = {}
         self._controllers: Dict[str, CanaryController] = {}
         self._monitor_health = monitor_health
@@ -82,17 +86,17 @@ class ManagementFrontend:
         applications and brings up the new application and its health
         monitor.
         """
-        app_name = clipper.config.app_name
-        if app_name in self._applications:
-            raise ManagementError(f"application '{app_name}' is already managed")
-        self.registry.register_application(
-            app_name,
-            metadata={
-                "latency_slo_ms": clipper.config.latency_slo_ms,
-                "selection_policy": clipper.config.selection_policy,
-            },
-        )
-        self._applications[app_name] = clipper
+        app_name = self._host_application(clipper)
+        try:
+            self.registry.register_application(
+                app_name, metadata=self._schemas[app_name].to_dict()
+            )
+        except ManagementError:
+            # The durable record refused the application (e.g. a previous
+            # frontend on the same store already registered the name): undo
+            # the in-memory hosting so the two never disagree.
+            self._unhost_application(app_name)
+            raise
         if self._monitor_health:
             self._monitors[app_name] = HealthMonitor(clipper, **self._health_kwargs)
         if self._manage_canaries:
@@ -117,21 +121,9 @@ class ManagementFrontend:
             )
         return app_name
 
-    def applications(self) -> List[str]:
-        """Names of every managed application."""
-        return sorted(self._applications)
-
-    def application(self, app_name: str) -> Clipper:
-        """The serving instance behind one application."""
-        return self._lookup(app_name)
-
-    def _lookup(self, app_name: str) -> Clipper:
-        clipper = self._applications.get(app_name)
-        if clipper is None:
-            raise ManagementError(
-                f"unknown application '{app_name}'; managed: {self.applications()}"
-            )
-        return clipper
+    # ``applications()`` / ``application()`` / ``schema()`` / ``_lookup`` are
+    # inherited from :class:`ApplicationHost` — the same registry and error
+    # path the query frontend uses.
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -143,7 +135,7 @@ class ManagementFrontend:
         for already-running applications and monitors, so it can be called
         again after :meth:`register_application` on a live frontend.
         """
-        await start_applications(self._applications.values())
+        await start_applications(self._applications)
         try:
             for monitor in self._monitors.values():
                 await monitor.start()
@@ -373,9 +365,16 @@ class ManagementFrontend:
         return self.registry.models(app_name)
 
     def model_info(self, app_name: str, model_name: str) -> Dict[str, Any]:
-        """Registry record of one model (versions, active/previous)."""
+        """Registry record of one model (versions, active/previous).
+
+        Augmented with the hosting application's declared serving contract
+        (``app_schema``: input type/shape, default output, SLO) so the admin
+        API reports what the model is expected to consume and produce.
+        """
         self._lookup(app_name)
-        return self.registry.model(app_name, model_name)
+        info = self.registry.model(app_name, model_name)
+        info["app_schema"] = self._schemas[app_name].to_dict()
+        return info
 
     def health_monitor(self, app_name: str) -> Optional[HealthMonitor]:
         """The application's health monitor (None when monitoring is off)."""
@@ -393,6 +392,7 @@ class ManagementFrontend:
         monitor = self._monitors.get(app_name)
         return {
             "app_name": app_name,
+            "schema": self._schemas[app_name].to_dict(),
             "started": clipper.is_started,
             "serving": [str(m) for m in clipper.serving_models()],
             "deployed": [str(m) for m in clipper.deployed_models()],

@@ -1,0 +1,171 @@
+"""Tests for typed application schemas, the wire codec and the error model."""
+
+import numpy as np
+import pytest
+
+from repro.api.errors import error_payload
+from repro.api.schema import ApplicationSchema, check_output_value, json_safe
+from repro.core.config import ClipperConfig
+from repro.core.exceptions import (
+    BadRequestError,
+    ConfigurationError,
+    DuplicateApplicationError,
+    ManagementError,
+    PredictionTimeoutError,
+    UnknownApplicationError,
+    ValidationError,
+)
+
+
+class TestInputValidation:
+    def test_doubles_coerce_list_to_float64(self):
+        schema = ApplicationSchema("app", input_type="doubles")
+        out = schema.validate_input([1, 2.5, 3])
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.float64
+        assert out.flags.c_contiguous
+
+    def test_floats_coerce_to_float32(self):
+        schema = ApplicationSchema("app", input_type="floats")
+        assert schema.validate_input([1.0, 2.0]).dtype == np.float32
+
+    def test_ints_accept_int_arrays_only(self):
+        schema = ApplicationSchema("app", input_type="ints")
+        assert schema.validate_input([1, 2, 3]).dtype == np.int64
+        with pytest.raises(ValidationError):
+            schema.validate_input([1.5, 2.5])
+
+    def test_input_shape_enforced(self):
+        schema = ApplicationSchema("app", input_type="doubles", input_shape=(3,))
+        assert schema.validate_input([1.0, 2.0, 3.0]).shape == (3,)
+        with pytest.raises(ValidationError) as excinfo:
+            schema.validate_input([1.0, 2.0])
+        assert excinfo.value.detail["expected_shape"] == [3]
+        assert excinfo.value.detail["got_shape"] == [2]
+
+    def test_numeric_types_reject_strings_and_ragged_input(self):
+        schema = ApplicationSchema("app", input_type="doubles")
+        with pytest.raises(ValidationError):
+            schema.validate_input("hello")
+        with pytest.raises(ValidationError):
+            schema.validate_input([[1.0], [2.0, 3.0]])
+
+    def test_bytes_and_strings(self):
+        b = ApplicationSchema("app", input_type="bytes")
+        assert b.validate_input(bytearray(b"xyz")) == b"xyz"
+        with pytest.raises(ValidationError):
+            b.validate_input("not bytes")
+        s = ApplicationSchema("app", input_type="strings")
+        assert s.validate_input("hi") == "hi"
+        with pytest.raises(ValidationError):
+            s.validate_input(b"hi")
+
+    def test_untyped_schema_passes_through(self):
+        schema = ApplicationSchema("app")
+        value = {"anything": [1, 2]}
+        assert schema.validate_input(value) is value
+
+
+class TestWireCodec:
+    def test_bytes_wire_decode_is_base64(self):
+        schema = ApplicationSchema("app", input_type="bytes")
+        assert schema.decode_wire_input("aGVsbG8=") == b"hello"
+        with pytest.raises(ValidationError):
+            schema.decode_wire_input("!!! not base64 !!!")
+        with pytest.raises(ValidationError):
+            schema.decode_wire_input([1, 2, 3])
+
+    def test_numeric_wire_values_pass_through_to_validation(self):
+        schema = ApplicationSchema("app", input_type="doubles")
+        assert schema.decode_wire_input([1.0, 2.0]) == [1.0, 2.0]
+
+    def test_json_safe_handles_numpy_bytes_and_nan(self):
+        assert json_safe(np.float64(1.5)) == 1.5
+        assert json_safe(np.array([1, 2])) == [1, 2]
+        assert json_safe(b"\x00\x01") == "AAE="
+        assert json_safe(float("nan")) == "nan"
+        assert json_safe({"k": (np.int32(3),)}) == {"k": [3]}
+
+    def test_schema_to_dict_is_json_friendly(self):
+        schema = ApplicationSchema(
+            "app",
+            input_type="doubles",
+            input_shape=(4,),
+            output_type="ints",
+            default_output=np.int64(0),
+        )
+        d = schema.to_dict()
+        assert d["input_shape"] == [4]
+        assert d["default_output"] == 0
+
+
+class TestConfigContract:
+    def test_config_derives_schema(self):
+        config = ClipperConfig(
+            app_name="digits",
+            input_type="doubles",
+            input_shape=(196,),
+            output_type="ints",
+            default_output=0,
+        )
+        schema = ApplicationSchema.from_config(config)
+        assert schema.input_type == "doubles"
+        assert schema.input_shape == (196,)
+        assert schema.default_output == 0
+
+    def test_unknown_input_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(input_type="tensors")
+
+    def test_input_shape_requires_input_type(self):
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(input_shape=(4,))
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(input_type="strings", input_shape=(4,))
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(input_type="doubles", input_shape=(0,))
+
+    def test_default_output_validated_against_output_type(self):
+        # A contradiction between the default and the declared output type
+        # surfaces at construction, not at the first SLO miss.
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(output_type="ints", default_output="zero")
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(output_type="strings", default_output=0)
+        with pytest.raises(ConfigurationError):
+            ClipperConfig(output_type="ints", default_output=True)  # bool ≠ int
+        ClipperConfig(output_type="ints", default_output=3)
+        ClipperConfig(output_type="doubles", default_output=1)  # ints widen
+        ClipperConfig(output_type="bytes", default_output=b"\x00")
+
+    def test_check_output_value_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            check_output_value("tensors", 1)
+
+
+class TestErrorModel:
+    def test_every_edge_error_carries_code_and_status(self):
+        assert UnknownApplicationError.http_status == 404
+        assert DuplicateApplicationError.http_status == 409
+        assert BadRequestError.http_status == 400
+        assert ValidationError.http_status == 422
+        assert PredictionTimeoutError.http_status == 504
+        # The edge exceptions stay catchable as ManagementError.
+        assert issubclass(UnknownApplicationError, ManagementError)
+
+    def test_error_payload_structure(self):
+        exc = ValidationError("bad shape", detail={"expected_shape": [4]})
+        payload = error_payload(exc)
+        assert payload == {
+            "error": {
+                "code": "invalid_input",
+                "status": 422,
+                "message": "bad shape",
+                "detail": {"expected_shape": [4]},
+            }
+        }
+
+    def test_non_library_errors_render_opaque(self):
+        payload = error_payload(RuntimeError("secret traceback"))
+        assert payload["error"]["code"] == "internal"
+        assert "secret" not in payload["error"]["message"]

@@ -7,8 +7,13 @@ from helpers import run_async
 from repro.containers.noop import NoOpContainer
 from repro.core.clipper import Clipper
 from repro.core.config import ClipperConfig, ModelDeployment
-from repro.core.exceptions import ClipperError
-from repro.core.frontend import QueryFrontend
+from repro.core.exceptions import (
+    ClipperError,
+    DuplicateApplicationError,
+    UnknownApplicationError,
+    ValidationError,
+)
+from repro.core.frontend import QueryFrontend, start_applications, stop_applications
 
 
 def make_app(name, output=1):
@@ -137,3 +142,86 @@ class TestPartialStartAndStop:
             await frontend.stop()
 
         run_async(scenario())
+
+
+class TestLifecycleHelpers:
+    def test_start_and_stop_share_signature_and_deterministic_order(self):
+        async def scenario():
+            order = []
+            apps = {}
+            for name in ("zebra", "alpha", "mango"):
+                clipper = make_app(name)
+                original_start, original_stop = clipper.start, clipper.stop
+
+                def record(event, inner, n=name):
+                    async def wrapped():
+                        order.append((event, n))
+                        await inner()
+
+                    return wrapped
+
+                clipper.start = record("start", original_start)
+                clipper.stop = record("stop", original_stop)
+                apps[name] = clipper
+            # Both helpers take the same name→instance mapping.
+            await start_applications(apps)
+            await stop_applications(apps)
+            return order
+
+        order = run_async(scenario())
+        assert order == [
+            ("start", "alpha"),
+            ("start", "mango"),
+            ("start", "zebra"),
+            ("stop", "zebra"),
+            ("stop", "mango"),
+            ("stop", "alpha"),
+        ]
+
+
+class TestSchemaValidation:
+    def make_typed_app(self):
+        clipper = Clipper(
+            ClipperConfig(
+                app_name="typed",
+                selection_policy="single",
+                input_type="doubles",
+                input_shape=(3,),
+            )
+        )
+        clipper.deploy_model(
+            ModelDeployment(name="noop", container_factory=NoOpContainer)
+        )
+        return clipper
+
+    def test_in_process_predict_validates_against_schema(self):
+        # The same 422 error path HTTP callers hit: validation lives in the
+        # frontend, not in the HTTP binding.
+        async def scenario():
+            frontend = QueryFrontend()
+            frontend.register_application(self.make_typed_app())
+            await frontend.start()
+            try:
+                with pytest.raises(ValidationError) as excinfo:
+                    await frontend.predict("typed", "not a vector")
+                assert excinfo.value.http_status == 422
+                with pytest.raises(ValidationError):
+                    await frontend.predict("typed", np.zeros(7))
+                with pytest.raises(ValidationError):
+                    await frontend.update("typed", np.zeros(7), label=1)
+                # Conforming input is coerced to the declared dtype.
+                prediction = await frontend.predict("typed", [1, 2, 3])
+                assert prediction.output == 0
+            finally:
+                await frontend.stop()
+
+        run_async(scenario())
+
+    def test_typed_registration_errors(self):
+        frontend = QueryFrontend()
+        frontend.register_application(make_app("vision"))
+        with pytest.raises(DuplicateApplicationError):
+            frontend.register_application(make_app("vision"))
+        with pytest.raises(UnknownApplicationError):
+            frontend.schema("ghost")
+        assert frontend.schema("vision").input_type is None
