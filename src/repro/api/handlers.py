@@ -101,9 +101,14 @@ def build_route_table(
 
     async def get_health(params: Dict[str, str], body: Any) -> ApiResponse:
         hosts = query if query is not None else admin
-        return ApiResponse(
-            200, {"status": "ok", "applications": hosts.applications()}
-        )
+        payload = {"status": "ok", "applications": hosts.applications()}
+        if admin is not None:
+            # Cold-start restores report what came back (and what could not),
+            # so operators see a recovered process for what it is.
+            recovery = admin.recovery_status()
+            if recovery:
+                payload["recovery"] = recovery
+        return ApiResponse(200, payload)
 
     async def get_routes(params: Dict[str, str], body: Any) -> ApiResponse:
         return ApiResponse(200, {"routes": table.describe()})
@@ -197,6 +202,7 @@ def build_route_table(
                 name=_require_str(payload, "model_name"),
                 container_factory=factory,
                 batching=batching,
+                factory_name=factory_name,
                 **kwargs,
             )
 

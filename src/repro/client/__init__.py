@@ -17,6 +17,8 @@ from repro.client.client import (
     MalformedRequest,
     ManagementConflict,
     PredictionResult,
+    RetryBudgetExceeded,
+    RetryPolicy,
     RouteNotFound,
     ServerError,
     TransportError,
@@ -35,6 +37,8 @@ __all__ = [
     "MalformedRequest",
     "ManagementConflict",
     "PredictionResult",
+    "RetryBudgetExceeded",
+    "RetryPolicy",
     "RouteNotFound",
     "ServerError",
     "TransportError",

@@ -25,6 +25,7 @@ from __future__ import annotations
 import asyncio
 import base64
 import json
+import random
 import socket
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -43,6 +44,21 @@ class ClipperClientError(Exception):
 
 class TransportError(ClipperClientError):
     """The connection failed before a complete HTTP response arrived."""
+
+
+class RetryBudgetExceeded(TransportError):
+    """Every attempt a call's retry budget allowed failed.
+
+    ``attempts`` is how many times the request hit the wire; ``last_error``
+    is the :class:`TransportError` of the final attempt.  Subclasses
+    :class:`TransportError`, so callers handling transport failures keep
+    working unchanged.
+    """
+
+    def __init__(self, message: str, attempts: int, last_error: Exception) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class ApiStatusError(ClipperClientError):
@@ -170,6 +186,51 @@ class PredictionResult:
         )
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded exponential backoff with jitter for transport failures.
+
+    Each call gets its own retry budget of ``max_attempts`` total tries.
+    Between retries the client sleeps ``base_delay_s * multiplier**n``
+    (capped at ``max_delay_s``), with up to ``jitter`` of the delay
+    subtracted at random so a fleet of recovering clients does not
+    reconnect in lockstep.
+
+    What is retriable depends on how far the previous attempt got, never
+    on the policy: a **connect failure** (nothing sent) is retriable for
+    every method; a **stale keep-alive** (request sent, zero response
+    bytes) is retriable only for GET — a POST may have executed
+    server-side and deploying or updating twice is worse than surfacing
+    the error; any failure after the first response byte is terminal.
+    When the budget runs out the last failure is surfaced as
+    :class:`RetryBudgetExceeded`.  ``RetryPolicy(max_attempts=1)``
+    disables retries entirely.
+    """
+
+    max_attempts: int = 4
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay_s < 0 or self.max_delay_s < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay_for(self, retry_index: int, rng: random.Random) -> float:
+        """The backoff before retry number ``retry_index`` (0-based)."""
+        delay = min(self.base_delay_s * self.multiplier**retry_index, self.max_delay_s)
+        if self.jitter:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+
 class _StaleConnection(Exception):
     """The server closed the keep-alive connection before answering at all."""
 
@@ -177,19 +238,24 @@ class _StaleConnection(Exception):
 class _HttpConnection:
     """One keep-alive HTTP/1.1 connection with transparent re-connect.
 
-    The idle keep-alive race (the server closed the connection between
-    requests) is handled in two tiers: before sending *any* request, a
-    connection already at EOF is replaced; if the race still hits mid-flight
-    (send fails, or the first read returns EOF), only **GET** requests are
-    retried once on a fresh connection.  A POST that may have reached the
-    server is never re-issued — deploy or update executing twice is worse
-    than surfacing a :class:`TransportError` — and once the first response
-    byte has been read, any failure is terminal for the same reason.
+    Transient failures are retried under the client's :class:`RetryPolicy`
+    (bounded exponential backoff with jitter, one budget per call).  How far
+    an attempt got decides what is safe to retry: a connect failure (nothing
+    sent) retries for every method; the idle keep-alive race (request sent,
+    zero response bytes) retries only **GET** requests — a POST that may
+    have reached the server is never re-issued, deploy or update executing
+    twice is worse than surfacing a :class:`TransportError` — and once the
+    first response byte has been read, any failure is terminal for the same
+    reason.  An exhausted budget surfaces as :class:`RetryBudgetExceeded`.
     """
 
-    def __init__(self, host: str, port: int) -> None:
+    def __init__(
+        self, host: str, port: int, retry_policy: Optional[RetryPolicy] = None
+    ) -> None:
         self.host = host
         self.port = port
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._rng = random.Random()
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -235,31 +301,53 @@ class _HttpConnection:
         self, method: str, path: str, body: Any = None
     ) -> Tuple[int, Any]:
         """Issue one request, returning ``(status, decoded JSON payload)``."""
-        retriable = method.upper() == "GET"
-        for attempt in (0, 1):
-            await self.connect()
+        policy = self.retry_policy
+        is_get = method.upper() == "GET"
+        attempts = 0
+        while True:
+            attempts += 1
             try:
-                return await self._round_trip(method, path, body)
-            except _StaleConnection as exc:
-                # Nothing of the response arrived.  Only an idempotent GET
-                # is silently re-issued; a POST may have executed
-                # server-side and must not run twice.
-                await self._reset()
-                if attempt or not retriable:
-                    raise TransportError(
+                await self.connect()
+            except TransportError as exc:
+                # Nothing was sent: safe to retry for every method.
+                failure, retriable = exc, True
+            else:
+                try:
+                    return await self._round_trip(method, path, body)
+                except _StaleConnection as exc:
+                    # The request went out but nothing of the response
+                    # arrived.  Only an idempotent GET is re-issued; a POST
+                    # may have executed server-side and must not run twice.
+                    await self._reset()
+                    failure = TransportError(
                         f"{method} {path} failed: {exc.args[0]}"
+                    )
+                    retriable = is_get
+                except (
+                    ConnectionResetError,
+                    BrokenPipeError,
+                    asyncio.IncompleteReadError,
+                    OSError,
+                ) as exc:
+                    # The connection died mid-response: the request may have
+                    # executed server-side, so never re-issue it.
+                    await self._reset()
+                    raise TransportError(
+                        f"{method} {path} failed: {exc!r}"
                     ) from None
-            except (
-                ConnectionResetError,
-                BrokenPipeError,
-                asyncio.IncompleteReadError,
-                OSError,
-            ) as exc:
-                # The connection died mid-response: the request may have
-                # executed server-side, so never re-issue it.
-                await self._reset()
-                raise TransportError(f"{method} {path} failed: {exc!r}") from None
-        raise AssertionError("unreachable")
+            if not retriable:
+                raise failure from None
+            if attempts >= policy.max_attempts:
+                if attempts == 1:
+                    raise failure from None
+                raise RetryBudgetExceeded(
+                    f"{method} {path} failed after {attempts} attempts: {failure}",
+                    attempts=attempts,
+                    last_error=failure,
+                ) from None
+            delay = policy.delay_for(attempts - 1, self._rng)
+            if delay > 0:
+                await asyncio.sleep(delay)
 
     async def _round_trip(self, method: str, path: str, body: Any) -> Tuple[int, Any]:
         payload = b""
@@ -308,8 +396,17 @@ class _HttpConnection:
 class _BaseAsyncClient:
     """Shared plumbing: one connection, error mapping, context management."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080) -> None:
-        self._conn = _HttpConnection(host, port)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._conn = _HttpConnection(host, port, retry_policy=retry_policy)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._conn.retry_policy
 
     async def connect(self) -> None:
         """Eagerly open the connection (otherwise opened on first request)."""
@@ -497,9 +594,14 @@ class _SyncWrapper:
 
     _async_cls = None
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> None:
         self._loop = asyncio.new_event_loop()
-        self._client = self._async_cls(host, port)
+        self._client = self._async_cls(host, port, retry_policy=retry_policy)
 
     def _run(self, coroutine):
         return self._loop.run_until_complete(coroutine)

@@ -485,6 +485,36 @@ class Clipper:
         self._prune_selection_state()
         return self._models[restored].model_id
 
+    def restore_routing(
+        self,
+        model_name: str,
+        split: TrafficSplit,
+        previous_key: Optional[str] = None,
+    ) -> None:
+        """Reinstall a durably-recorded routing configuration for one name.
+
+        The cold-start recovery seam: after a crash, the management plane
+        redeploys every version staged (``activate=False``) and then swaps
+        the recorded :class:`TrafficSplit` — stable arm, in-flight canary
+        weight, rollback pointer — straight back into the routing table, so
+        the restarted instance routes exactly as the dead one did.  Every
+        key referenced by the split (and the rollback target) must already
+        be deployed.
+        """
+        for key in split.keys():
+            if key not in self._models:
+                raise DeploymentError(
+                    f"cannot restore routing for '{model_name}': "
+                    f"arm '{key}' is not deployed"
+                )
+        if previous_key is not None and previous_key not in self._models:
+            raise DeploymentError(
+                f"cannot restore routing for '{model_name}': "
+                f"rollback target '{previous_key}' is not deployed"
+            )
+        self.routing.restore(model_name, split, previous_key)
+        self._prune_selection_state()
+
     @staticmethod
     async def _drain_queue(record: _DeployedModel, timeout_s: float = 10.0) -> None:
         """Wait for the record's dispatchers to drain its (closed) queue.

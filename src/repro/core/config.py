@@ -109,6 +109,11 @@ class ModelDeployment:
         batch before the failure is surfaced to the caller.  With multiple
         replicas this lets a healthy sibling absorb the work of a sick one
         while the health monitor quarantines it.
+    factory_name:
+        Name of the server-side container factory this deployment was built
+        from, when it came through the factory registry.  Recorded in the
+        registry's deploy spec so a cold-start restore can rebuild the
+        deployment; ``None`` for ad-hoc in-process factories.
     """
 
     name: str
@@ -118,6 +123,7 @@ class ModelDeployment:
     version: int = 1
     serialize_rpc: bool = True
     max_batch_retries: int = 3
+    factory_name: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:

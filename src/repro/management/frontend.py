@@ -33,7 +33,7 @@ decisions update the durable registry exactly like operator-issued ones.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core.clipper import Clipper
 from repro.core.config import ModelDeployment
@@ -45,7 +45,13 @@ from repro.core.frontend import (
 )
 from repro.core.types import ModelId
 from repro.management.health import HealthMonitor
-from repro.management.records import ReplicaHealth
+from repro.management.records import VERSION_UNDEPLOYED, ReplicaHealth
+from repro.management.recovery import (
+    DEPLOY_SPEC_KEY,
+    RecoveryReport,
+    deploy_spec,
+    deployment_from_record,
+)
 from repro.management.registry import ModelRegistry
 from repro.routing.controller import CanaryController
 from repro.routing.split import TrafficSplit
@@ -72,6 +78,7 @@ class ManagementFrontend(ApplicationHost):
         self._health_kwargs = dict(health_kwargs or {})
         self._manage_canaries = manage_canaries
         self._canary_kwargs = dict(canary_kwargs or {})
+        self._recoveries: Dict[str, RecoveryReport] = {}
         self._started = False
 
     # -- registration ----------------------------------------------------------
@@ -97,6 +104,22 @@ class ManagementFrontend(ApplicationHost):
             # the in-memory hosting so the two never disagree.
             self._unhost_application(app_name)
             raise
+        self._attach(app_name, clipper)
+        for record in clipper.model_records():
+            model_id = record.model_id
+            self.registry.register_model_version(
+                app_name,
+                model_id.name,
+                model_id.version,
+                num_replicas=len(record.replica_set),
+                serving=clipper.active_version(model_id.name) == model_id,
+                batching_policy=record.deployment.batching.policy,
+                metadata={DEPLOY_SPEC_KEY: deploy_spec(record.deployment)},
+            )
+        return app_name
+
+    def _attach(self, app_name: str, clipper: Clipper) -> None:
+        """Attach the health monitor and canary controller of one application."""
         if self._monitor_health:
             self._monitors[app_name] = HealthMonitor(clipper, **self._health_kwargs)
         if self._manage_canaries:
@@ -109,17 +132,117 @@ class ManagementFrontend(ApplicationHost):
                 abort=partial(self.abort_canary, app_name),
                 **self._canary_kwargs,
             )
-        for record in clipper.model_records():
-            model_id = record.model_id
-            self.registry.register_model_version(
-                app_name,
-                model_id.name,
-                model_id.version,
-                num_replicas=len(record.replica_set),
-                serving=clipper.active_version(model_id.name) == model_id,
-                batching_policy=record.deployment.batching.policy,
+
+    async def restore_application(
+        self,
+        clipper: Clipper,
+        factories: Optional[Mapping[str, Callable[[], object]]] = None,
+    ) -> RecoveryReport:
+        """Rebuild one application's serving state from its registry records.
+
+        The cold-start half of durability: the caller reopens the durable
+        store (whose registry records survived the crash), constructs a
+        fresh :class:`Clipper` with the application's configuration, and
+        this method rebuilds everything the dead process was serving —
+        every non-undeployed model version (via the named container
+        ``factories``, replica counts included), the routing table's
+        stable arms and rollback pointers, and any canary split that was
+        in flight (which the canary controller then resumes ramping).
+
+        The application must already be in the registry; it is hosted
+        in-memory *without* re-registering.  Versions whose factory is
+        missing are reported in the returned :class:`RecoveryReport`
+        (also surfaced via :meth:`recovery_status` and the health API)
+        rather than failing the whole restore.
+        """
+        app_name = clipper.config.app_name
+        self.registry.application(app_name)  # must exist durably
+        if clipper.model_records():
+            raise ManagementError(
+                f"restore_application needs a fresh instance; '{app_name}' "
+                "already has models deployed"
             )
-        return app_name
+        report = RecoveryReport(app_name=app_name)
+        store_recovery = getattr(self.registry.store, "recovery", None)
+        if store_recovery is not None:
+            report.store = store_recovery.to_dict()
+        self._host_application(clipper)
+        try:
+            factories = dict(factories or {})
+            for model_name, model in sorted(self.registry.models(app_name).items()):
+                versions = sorted(
+                    model["versions"].values(), key=lambda rec: int(rec["version"])
+                )
+                for rec in versions:
+                    if rec["state"] == VERSION_UNDEPLOYED:
+                        continue
+                    try:
+                        deployment = deployment_from_record(
+                            model_name, rec, factories
+                        )
+                    except ManagementError as exc:
+                        report.skipped.append(
+                            {
+                                "model": model_name,
+                                "version": int(rec["version"]),
+                                "reason": str(exc),
+                            }
+                        )
+                        continue
+                    # Every version comes up staged; the recorded routing is
+                    # swapped in wholesale below.
+                    await clipper.deploy_model_async(deployment, activate=False)
+                    report.versions_restored += 1
+                self._restore_routes(clipper, model_name, model, report)
+        except BaseException:
+            self._unhost_application(app_name)
+            raise
+        self._attach(app_name, clipper)
+        self._recoveries[app_name] = report
+        return report
+
+    def _restore_routes(
+        self,
+        clipper: Clipper,
+        model_name: str,
+        model: Dict[str, Any],
+        report: RecoveryReport,
+    ) -> None:
+        """Reinstall one model's recorded routing (split + rollback pointer)."""
+        split_record = model.get("traffic_split")
+        active = model.get("active_version")
+        if split_record is not None:
+            split = TrafficSplit.from_record(split_record)
+        elif active is not None:
+            split = TrafficSplit.single(
+                str(ModelId(model_name, active)), seed=clipper.config.routing_seed
+            )
+        else:
+            return  # never served (or fully undeployed): nothing to route
+        deployed = {str(model_id) for model_id in clipper.model_versions(model_name)}
+        missing = [key for key in split.keys() if key not in deployed]
+        if missing:
+            report.skipped.append(
+                {
+                    "model": model_name,
+                    "reason": f"recorded routing references unrestored versions {missing}",
+                }
+            )
+            return
+        previous = model.get("previous_version")
+        previous_key = (
+            str(ModelId(model_name, previous)) if previous is not None else None
+        )
+        if previous_key is not None and previous_key not in deployed:
+            previous_key = None  # rollback target did not come back; drop it
+        clipper.restore_routing(model_name, split, previous_key)
+        report.routes_restored += 1
+        if split.canary is not None:
+            report.canaries_resumed += 1
+
+    def recovery_status(self) -> Dict[str, Dict[str, Any]]:
+        """Per-application recovery reports (empty for cold-started frontends)."""
+        return {name: report.to_dict() for name, report in self._recoveries.items()}
 
     # ``applications()`` / ``application()`` / ``schema()`` / ``_lookup`` are
     # inherited from :class:`ApplicationHost` — the same registry and error
@@ -188,6 +311,7 @@ class ManagementFrontend(ApplicationHost):
                 num_replicas=deployment.num_replicas,
                 serving=clipper.active_version(model_id.name) == model_id,
                 batching_policy=deployment.batching.policy,
+                metadata={DEPLOY_SPEC_KEY: deploy_spec(deployment)},
             )
         except ManagementError:
             # The registry refused the record (e.g. the version number was
@@ -406,4 +530,9 @@ class ManagementFrontend(ApplicationHost):
                 for name, status in self.replica_health(app_name).items()
             },
             "unhealthy_models": monitor.unhealthy_model_keys() if monitor else [],
+            "recovery": (
+                self._recoveries[app_name].to_dict()
+                if app_name in self._recoveries
+                else None
+            ),
         }

@@ -10,8 +10,20 @@ thread-safe in-memory store with
   concurrency (``put_if_version``), and
 * simple scan/keys operations for diagnostics.
 
+Versions are drawn from one store-wide monotonic sequence, so a version
+number is never reissued — not after a ``delete``, and not after a TTL
+expiry.  That makes the compare-and-swap ABA-safe: a writer holding a
+version observed before an entry expired (or was deleted) and re-created
+can never win ``put_if_version`` against the re-created entry, because the
+new entry necessarily carries a strictly larger version.
+
 Values are stored by reference; callers that need isolation should store
 copies (the selection-state manager stores small plain dicts).
+
+Subclasses adding durability hook :meth:`KeyValueStore._on_commit`, which
+is invoked under the store lock with a description of every applied
+mutation (in apply order), giving a journal exactly as serialized as the
+store itself — see :class:`repro.state.durable.DurableKeyValueStore`.
 """
 
 from __future__ import annotations
@@ -41,21 +53,48 @@ class KeyValueStore:
         self._data: Dict[Tuple[str, str], _Entry] = {}
         self._lock = threading.Lock()
         self._clock = clock
+        # Store-wide monotonic sequence: every mutation consumes one number,
+        # and entry versions are the sequence value of their last write.
+        self._seq = 0
+
+    # -- journaling hook -------------------------------------------------------
+
+    def _on_commit(
+        self,
+        op: str,
+        seq: int,
+        namespace: Optional[str],
+        key: Optional[str],
+        value: Any,
+        ttl_remaining_s: Optional[float],
+    ) -> None:
+        """Called under the store lock after each applied mutation.
+
+        ``op`` is ``"put"`` (covering both :meth:`put` and a successful
+        :meth:`put_if_version`, with ``seq`` the entry's new version),
+        ``"del"`` or ``"clear"`` (where ``namespace`` may be None for a
+        full clear).  The base store journals nothing.
+        """
 
     # -- basic operations ----------------------------------------------------
 
     def put(
         self, namespace: str, key: str, value: Any, ttl_s: Optional[float] = None
     ) -> int:
-        """Store ``value``; returns the new version number (starting at 1)."""
+        """Store ``value``; returns the entry's new version number.
+
+        Versions come from the store-wide monotonic sequence: they strictly
+        increase per key but are not required to be contiguous.
+        """
         self._validate(namespace, key)
         if ttl_s is not None and ttl_s <= 0:
             raise StateStoreError("ttl_s must be positive when provided")
         expires_at = None if ttl_s is None else self._clock() + ttl_s
         with self._lock:
-            existing = self._data.get((namespace, key))
-            version = 1 if existing is None else existing.version + 1
+            self._seq += 1
+            version = self._seq
             self._data[(namespace, key)] = _Entry(value, version, expires_at)
+            self._on_commit("put", version, namespace, key, value, ttl_s)
             return version
 
     def get(self, namespace: str, key: str, default: Any = None) -> Any:
@@ -87,7 +126,11 @@ class KeyValueStore:
         """Optimistic update: store only if the current version matches.
 
         ``expected_version=None`` means "only insert if the key is absent".
-        Returns True on success.
+        Returns True on success.  An entry that expired between the caller's
+        :meth:`get_with_version` and this call counts as absent: a CAS
+        against its stale version fails, and an insert (``None``) succeeds
+        with a version strictly greater than any the key ever carried — the
+        expiry can never be mistaken for "nothing changed".
         """
         self._validate(namespace, key)
         with self._lock:
@@ -98,16 +141,27 @@ class KeyValueStore:
             current_version = None if entry is None else entry.version
             if current_version != expected_version:
                 return False
-            new_version = 1 if current_version is None else current_version + 1
+            # A CAS update preserves the entry's remaining TTL; an insert
+            # starts without one.
             expires_at = None if entry is None else entry.expires_at
-            self._data[(namespace, key)] = _Entry(value, new_version, expires_at)
+            self._seq += 1
+            version = self._seq
+            self._data[(namespace, key)] = _Entry(value, version, expires_at)
+            ttl_remaining = (
+                None if expires_at is None else max(expires_at - self._clock(), 0.0)
+            )
+            self._on_commit("put", version, namespace, key, value, ttl_remaining)
             return True
 
     def delete(self, namespace: str, key: str) -> bool:
         """Remove a key; returns True when something was removed."""
         self._validate(namespace, key)
         with self._lock:
-            return self._data.pop((namespace, key), None) is not None
+            removed = self._data.pop((namespace, key), None) is not None
+            if removed:
+                self._seq += 1
+                self._on_commit("del", self._seq, namespace, key, None, None)
+            return removed
 
     def contains(self, namespace: str, key: str) -> bool:
         sentinel = object()
@@ -136,10 +190,16 @@ class KeyValueStore:
         """Remove everything, or only one namespace's entries."""
         with self._lock:
             if namespace is None:
+                changed = bool(self._data)
                 self._data.clear()
             else:
-                for key in [k for k in self._data if k[0] == namespace]:
+                doomed = [k for k in self._data if k[0] == namespace]
+                changed = bool(doomed)
+                for key in doomed:
                     del self._data[key]
+            if changed:
+                self._seq += 1
+                self._on_commit("clear", self._seq, namespace, None, None, None)
 
     @staticmethod
     def _validate(namespace: str, key: str) -> None:

@@ -14,6 +14,31 @@ from repro.datasets import load_mnist_like, make_classification
 from repro.mlkit import LinearSVM, LogisticRegression
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--chaos",
+        action="store_true",
+        default=False,
+        help="run the chaos tier (crash-injection / kill -9 recovery tests)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "chaos: slow crash-injection test, skipped unless --chaos is given",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--chaos"):
+        return
+    skip_chaos = pytest.mark.skip(reason="needs --chaos option to run")
+    for item in items:
+        if "chaos" in item.keywords:
+            item.add_marker(skip_chaos)
+
+
 @pytest.fixture(scope="session")
 def small_dataset():
     """A small, easy synthetic classification dataset (fast model training)."""

@@ -106,6 +106,69 @@ class TestTTL:
         assert store.get("ns", "k") == 1
 
 
+class TestTTLVersionInteraction:
+    """An entry expiring between get_with_version and put_if_version.
+
+    Versions are drawn from one store-wide monotonic sequence, so a stale
+    version can never match again after the entry expired (or was deleted)
+    and the key was re-created — the ABA hazard of per-key counters that
+    restart at 1.
+    """
+
+    def make(self):
+        clock = {"now": 0.0}
+        return clock, KeyValueStore(clock=lambda: clock["now"])
+
+    def test_cas_against_expired_entry_fails(self):
+        clock, store = self.make()
+        store.put("ns", "k", "old", ttl_s=10.0)
+        _, version = store.get_with_version("ns", "k")
+        clock["now"] = 11.0  # expires mid-read-modify-write
+        assert store.put_if_version("ns", "k", "new", version) is False
+        assert store.get("ns", "k") is None
+
+    def test_insert_after_expiry_succeeds_with_larger_version(self):
+        clock, store = self.make()
+        store.put("ns", "k", "old", ttl_s=10.0)
+        _, old_version = store.get_with_version("ns", "k")
+        clock["now"] = 11.0
+        # The key counts as absent now: an expected_version=None insert wins.
+        assert store.put_if_version("ns", "k", "new", None) is True
+        _, new_version = store.get_with_version("ns", "k")
+        assert new_version > old_version
+
+    def test_stale_version_never_matches_recreated_entry(self):
+        clock, store = self.make()
+        store.put("ns", "k", "v1", ttl_s=10.0)
+        _, stale = store.get_with_version("ns", "k")
+        clock["now"] = 11.0
+        store.put("ns", "k", "v2", ttl_s=10.0)  # re-created after expiry
+        # The ABA case: with per-key versions restarting at 1 this stale CAS
+        # would wrongly succeed against the unrelated re-created entry.
+        assert store.put_if_version("ns", "k", "v3", stale) is False
+        assert store.get("ns", "k") == "v2"
+
+    def test_stale_version_never_matches_after_delete_and_reinsert(self):
+        _, store = self.make()
+        store.put("ns", "k", "v1")
+        _, stale = store.get_with_version("ns", "k")
+        store.delete("ns", "k")
+        store.put("ns", "k", "v2")
+        assert store.put_if_version("ns", "k", "v3", stale) is False
+        assert store.get("ns", "k") == "v2"
+
+    def test_cas_update_preserves_remaining_ttl(self):
+        clock, store = self.make()
+        store.put("ns", "k", "old", ttl_s=10.0)
+        clock["now"] = 5.0
+        _, version = store.get_with_version("ns", "k")
+        assert store.put_if_version("ns", "k", "new", version) is True
+        clock["now"] = 9.0
+        assert store.get("ns", "k") == "new"  # original deadline still holds
+        clock["now"] = 11.0
+        assert store.get("ns", "k") is None
+
+
 class TestConcurrentOptimisticWriters:
     def test_interleaved_cas_loses_no_updates(self):
         """Two management writers CAS-incrementing one record stay linearizable."""
