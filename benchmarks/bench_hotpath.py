@@ -2,9 +2,10 @@
 
 Unlike the figure benchmarks (which reproduce the paper's evaluation), this
 benchmark measures the reproduction's own serving hot path — cache-hit,
-cache-miss (plain and serialized wide), ensemble and REST-edge
-(``http_predict``) scenarios through a full Clipper instance with no-op
-containers — so perf-focused PRs have a number to move.  Run with::
+cache-miss (plain and serialized wide), ensemble, REST-edge
+(``http_predict``) and telemetry-overhead scenarios through a full Clipper
+instance with no-op containers — so perf-focused PRs have a number to move.
+Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s -q
 
@@ -17,9 +18,11 @@ from __future__ import annotations
 
 import os
 
+import asyncio
+
 from conftest import record_result
 
-from repro.evaluation.hotpath import BENCH_SLO_MS, run_all
+from repro.evaluation.hotpath import BENCH_SLO_MS, run_all, run_telemetry_overhead
 
 QUICK = os.environ.get("HOTPATH_QUICK", "") not in ("", "0")
 
@@ -42,3 +45,30 @@ def test_hotpath_scenarios():
     # Every scenario must comfortably meet the benchmark SLO at the median.
     for result in results:
         assert result.latency_ms["p50"] < BENCH_SLO_MS
+
+
+def test_telemetry_overhead_within_budget():
+    """Tracing at the default 1/256 sampling costs < 5% cache-hit throughput.
+
+    The interleaved A/B rounds cancel most scheduler drift, but single runs
+    still jitter by ~±5% on shared CI machines; the requirement holds if any
+    of three attempts lands inside the budget (a real regression fails all
+    three, far outside it).
+    """
+    num_queries = 400 if QUICK else 4000
+    best = 0.0
+    lines = []
+    for attempt in range(3):
+        on, off = asyncio.run(
+            run_telemetry_overhead(num_queries=num_queries, rounds=4)
+        )
+        ratio = on.qps / off.qps
+        best = max(best, ratio)
+        lines.append(
+            f"attempt {attempt}: on={on.qps:.0f} qps off={off.qps:.0f} qps "
+            f"ratio={ratio:.4f}"
+        )
+        if best >= 0.95:
+            break
+    record_result("telemetry_overhead", "\n".join(lines))
+    assert best >= 0.95, f"tracing overhead above 5%: best on/off ratio {best:.4f}"

@@ -1,11 +1,12 @@
 #!/usr/bin/env python
 """Measure serving hot-path throughput/latency and write ``BENCH_hotpath.json``.
 
-Runs the five scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
-cache-miss, serialized wide cache-miss, four-model ensemble, and the REST
-edge ``http_predict``) through a full :class:`repro.core.clipper.Clipper`
-instance with no-op containers, and records p50/p99 latency and QPS per
-scenario so successive PRs have a perf trajectory to compare against.
+Runs the scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
+cache-miss, serialized wide cache-miss, four-model ensemble, the REST edge
+``http_predict``, and the telemetry-overhead A/B pair) through a full
+:class:`repro.core.clipper.Clipper` instance with no-op containers, and
+records p50/p99 latency and QPS per scenario so successive PRs have a perf
+trajectory to compare against.
 
 Usage::
 
@@ -21,7 +22,9 @@ layout is::
         "cache_miss": {...},
         "cache_miss_wide": {...},
         "ensemble": {...},
-        "http_predict": {...}
+        "http_predict": {...},
+        "telemetry_on": {...},
+        "telemetry_off": {...}
       }
     }
 
@@ -32,6 +35,9 @@ must not regress; cache-miss additionally includes batching/RPC costs,
 cache-miss-wide adds the binary wire format (columnar batches, zero-copy
 decode) to the measured path, and http_predict prices the REST edge (HTTP
 framing, JSON codec, schema validation) against the in-process cache_hit.
+The ``telemetry_on``/``telemetry_off`` pair prices the tracing layer at its
+default 1/256 sampling against tracing disabled; the ratio must stay within
+a few percent of 1.0.
 """
 
 from __future__ import annotations

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Mapping, Optional
 
+from repro.api.errors import RouteNotFoundError
 from repro.api.routes import API_PREFIX, ApiResponse, RouteTable
 from repro.api.schema import json_safe, require_field, require_object
 from repro.core.config import BatchingConfig, ModelDeployment
@@ -27,6 +28,7 @@ from repro.core.exceptions import BadRequestError
 from repro.core.frontend import QueryFrontend
 from repro.core.types import Prediction
 from repro.management.frontend import ManagementFrontend
+from repro.observability.prometheus import PROMETHEUS_CONTENT_TYPE, render_prometheus
 
 
 def prediction_payload(prediction: Prediction) -> Dict[str, Any]:
@@ -41,7 +43,26 @@ def prediction_payload(prediction: Prediction) -> Dict[str, Any]:
         "models_used": list(prediction.models_used),
         "models_missing": list(prediction.models_missing),
         "from_cache": prediction.from_cache,
+        "trace_id": prediction.trace_id,
     }
+
+
+def _wants_prometheus(params: Dict[str, str]) -> bool:
+    return params.get("format", "").lower() == "prometheus"
+
+
+def _parse_flag(params: Dict[str, str], name: str) -> bool:
+    return params.get(name, "").lower() in ("1", "true", "yes")
+
+
+def _parse_limit(params: Dict[str, str], default: int = 50) -> int:
+    raw = params.get("limit")
+    if raw is None:
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        raise BadRequestError("query parameter 'limit' must be an integer") from None
 
 
 def _optional_str(body: Dict[str, Any], name: str) -> Optional[str]:
@@ -116,6 +137,57 @@ def build_route_table(
     table.add("GET", f"{API_PREFIX}/health", "health", get_health)
     table.add("GET", f"{API_PREFIX}/routes", "routes", get_routes)
 
+    # -- observability: metrics exposition and trace queries --------------------
+    #
+    # Registered before the {app}-pattern application verbs so the literal
+    # ``trace``/``traces``/``metrics`` segments win over the wildcard at the
+    # same segment count (first match in registration order).
+
+    hosts = query if query is not None else admin
+
+    def _hosted_clippers() -> Dict[str, Any]:
+        return {name: hosts.application(name) for name in hosts.applications()}
+
+    async def get_metrics(params: Dict[str, str], body: Any) -> ApiResponse:
+        clippers = _hosted_clippers()
+        if _wants_prometheus(params):
+            text = render_prometheus(
+                {name: clipper.metrics for name, clipper in clippers.items()}
+            )
+            return ApiResponse(
+                200, text, headers={"Content-Type": PROMETHEUS_CONTENT_TYPE}
+            )
+        snapshots = {}
+        for name, clipper in clippers.items():
+            snapshot = clipper.metrics.snapshot()
+            snapshots[name] = {
+                "counters": snapshot.counters,
+                "meters": snapshot.meters,
+                "histograms": snapshot.histograms,
+            }
+        return ApiResponse(200, {"applications": snapshots})
+
+    async def get_trace(params: Dict[str, str], body: Any) -> ApiResponse:
+        trace_id = params["trace_id"]
+        for clipper in _hosted_clippers().values():
+            tree = clipper.tracer.registry.trace(trace_id)
+            if tree is not None:
+                return ApiResponse(200, tree)
+        raise RouteNotFoundError(f"no committed trace with id '{trace_id}'")
+
+    async def get_traces(params: Dict[str, str], body: Any) -> ApiResponse:
+        slow = _parse_flag(params, "slow")
+        limit = _parse_limit(params)
+        merged = []
+        for clipper in _hosted_clippers().values():
+            merged.extend(clipper.tracer.registry.recent(slow=slow, limit=limit))
+        merged.sort(key=lambda summary: summary["captured_at"], reverse=True)
+        return ApiResponse(200, {"traces": merged[:limit], "slow_only": slow})
+
+    table.add("GET", f"{API_PREFIX}/metrics", "metrics", get_metrics)
+    table.add("GET", f"{API_PREFIX}/trace/{{trace_id}}", "trace", get_trace)
+    table.add("GET", f"{API_PREFIX}/traces", "traces", get_traces)
+
     # -- application verbs (Figure 2: predict / update) -------------------------
 
     if query is not None:
@@ -145,8 +217,14 @@ def build_route_table(
                 x,
                 user_id=_optional_str(payload, "user_id"),
                 latency_slo_ms=_optional_number(payload, "latency_slo_ms"),
+                trace_id=params.get("_trace_id"),
             )
-            return ApiResponse(200, prediction_payload(prediction))
+            headers = (
+                {"X-Clipper-Trace-Id": prediction.trace_id}
+                if prediction.trace_id
+                else {}
+            )
+            return ApiResponse(200, prediction_payload(prediction), headers=headers)
 
         async def post_update(params: Dict[str, str], body: Any) -> ApiResponse:
             payload = require_object(body)
@@ -301,7 +379,13 @@ def build_route_table(
             return ApiResponse(200, admin.describe(params["app"]))
 
         async def get_app_metrics(params: Dict[str, str], body: Any) -> ApiResponse:
-            snapshot = admin.application(params["app"]).metrics.snapshot()
+            clipper = admin.application(params["app"])
+            if _wants_prometheus(params):
+                text = render_prometheus({params["app"]: clipper.metrics})
+                return ApiResponse(
+                    200, text, headers={"Content-Type": PROMETHEUS_CONTENT_TYPE}
+                )
+            snapshot = clipper.metrics.snapshot()
             return ApiResponse(
                 200,
                 {

@@ -29,6 +29,7 @@ import asyncio
 import json
 import socket
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
+from urllib.parse import parse_qsl
 
 from repro.api.errors import (
     BadRequestError,
@@ -39,6 +40,9 @@ from repro.api.errors import (
 from repro.api.routes import RouteTable
 from repro.api.schema import json_safe
 from repro.core.frontend import start_applications, stop_applications
+from repro.observability.logging import configure_logging, get_logger
+
+logger = get_logger("api.http")
 
 #: Reason phrases for the statuses the API layer emits.
 _REASONS = {
@@ -165,6 +169,9 @@ class HttpApiServer:
         """
         if self._server is not None:
             return
+        # Idempotent process-wide logging setup: repeat server starts (or
+        # multiple servers in one process) never stack duplicate handlers.
+        configure_logging()
         if self._applications:
             await start_applications(self._applications)
             self._applications_started = True
@@ -176,6 +183,10 @@ class HttpApiServer:
             self._managers_started = True
             self._server = await asyncio.start_server(
                 self._serve_connection, host=self.host, port=self._requested_port
+            )
+            logger.info(
+                "http server started",
+                extra={"host": self.host, "port": self.port},
             )
         except BaseException:
             self._managers_started = False
@@ -202,6 +213,7 @@ class HttpApiServer:
                 await self._server.wait_closed()
             finally:
                 self._server = None
+            logger.info("http server stopped", extra={"host": self.host})
         if self._managers_started:
             self._managers_started = False
             for manager in reversed(self._managers):
@@ -244,16 +256,21 @@ class HttpApiServer:
                     break
                 if request is None:
                     break  # client closed cleanly between requests
-                method, path, headers, body_bytes = request
+                method, path, query_string, headers, body_bytes = request
                 keep_alive = self._wants_keep_alive(headers)
-                status, body, accept = await self._dispatch(
-                    method, path, headers, body_bytes
+                status, body, accept, extra_headers = await self._dispatch(
+                    method, path, query_string, headers, body_bytes
                 )
                 content_type = (
                     accept if accept in self._encoders else JSON_CONTENT_TYPE
                 )
                 await self._write_response(
-                    writer, status, body, content_type, keep_alive=keep_alive
+                    writer,
+                    status,
+                    body,
+                    content_type,
+                    keep_alive=keep_alive,
+                    extra_headers=extra_headers,
                 )
                 if not keep_alive:
                     break
@@ -273,7 +290,7 @@ class HttpApiServer:
 
     async def _read_request(
         self, reader: asyncio.StreamReader
-    ) -> Optional[Tuple[str, str, Dict[str, str], bytes]]:
+    ) -> Optional[Tuple[str, str, str, Dict[str, str], bytes]]:
         """Parse one request; None on clean EOF, :class:`_FramingError` on junk."""
         try:
             if self._keep_alive_timeout_s is not None:
@@ -331,8 +348,8 @@ class HttpApiServer:
                     body = await reader.readexactly(length)
                 except asyncio.IncompleteReadError:
                     return None  # peer hung up mid-body
-        path = target.split("?", 1)[0]
-        return method, path, headers, body
+        path, _, query_string = target.partition("?")
+        return method, path, query_string, headers, body
 
     @staticmethod
     def _wants_keep_alive(headers: Dict[str, str]) -> bool:
@@ -344,8 +361,13 @@ class HttpApiServer:
         return True  # HTTP/1.1 default
 
     async def _dispatch(
-        self, method: str, path: str, headers: Dict[str, str], body_bytes: bytes
-    ) -> Tuple[int, Any, str]:
+        self,
+        method: str,
+        path: str,
+        query_string: str,
+        headers: Dict[str, str],
+        body_bytes: bytes,
+    ) -> Tuple[int, Any, str, Dict[str, str]]:
         """Route one request; every failure renders as the structured error."""
         accept = headers.get("accept", JSON_CONTENT_TYPE).split(";")[0].strip().lower()
         try:
@@ -371,10 +393,25 @@ class HttpApiServer:
                     raise BadRequestError(
                         f"request body is not valid {content_type}"
                     ) from None
-            response = await self.routes.dispatch(method, path, body)
-            return response.status, response.body, accept
+            query = dict(parse_qsl(query_string)) if query_string else None
+            response = await self.routes.dispatch(
+                method, path, body, query=query, headers=headers
+            )
+            return response.status, response.body, accept, response.headers or {}
         except Exception as exc:  # noqa: BLE001 — the edge maps everything
-            return status_of(exc), error_payload(exc), accept
+            status = status_of(exc)
+            if status >= 500:
+                logger.error(
+                    "request failed",
+                    extra={
+                        "method": method,
+                        "path": path,
+                        "status": status,
+                        "error_type": type(exc).__name__,
+                    },
+                    exc_info=True,
+                )
+            return status, error_payload(exc), accept, {}
 
     async def _write_response(
         self,
@@ -383,22 +420,44 @@ class HttpApiServer:
         body: Any,
         content_type: str,
         keep_alive: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
-        encoder = self._encoders.get(content_type, _encode_json)
-        try:
-            payload = encoder(body)
-        except Exception:
-            # A response the negotiated encoder cannot represent is an
-            # internal error; fall back to the JSON error shape.
-            content_type = JSON_CONTENT_TYPE
-            status = 500
-            payload = _encode_json(error_payload(Exception()))
+        """Write one response; ``extra_headers`` come from the handler.
+
+        A handler-supplied ``Content-Type`` overrides negotiation and makes
+        a ``str``/``bytes`` body travel raw (how the Prometheus text
+        exposition bypasses the JSON encoder); other extra headers are
+        emitted verbatim (e.g. ``X-Clipper-Trace-Id``).
+        """
+        header_lines = ""
+        if extra_headers:
+            override = None
+            for name, value in extra_headers.items():
+                if name.lower() == "content-type":
+                    override = value
+                else:
+                    header_lines += f"{name}: {value}\r\n"
+            if override is not None:
+                content_type = override
+        if isinstance(body, (str, bytes)) and content_type not in self._encoders:
+            payload = body.encode("utf-8") if isinstance(body, str) else body
+        else:
+            encoder = self._encoders.get(content_type, _encode_json)
+            try:
+                payload = encoder(body)
+            except Exception:
+                # A response the negotiated encoder cannot represent is an
+                # internal error; fall back to the JSON error shape.
+                content_type = JSON_CONTENT_TYPE
+                status = 500
+                payload = _encode_json(error_payload(Exception()))
         reason = _REASONS.get(status, "Unknown")
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: {content_type}\r\n"
             f"Content-Length: {len(payload)}\r\n"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"{header_lines}"
             "\r\n"
         ).encode("ascii")
         writer.write(head + payload)

@@ -134,13 +134,32 @@ class RouteTable:
             )
         raise RouteNotFoundError(f"no route matches {path}")
 
-    async def dispatch(self, method: str, path: str, body: Any = None) -> ApiResponse:
+    async def dispatch(
+        self,
+        method: str,
+        path: str,
+        body: Any = None,
+        query: Optional[Dict[str, str]] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> ApiResponse:
         """Resolve and invoke a handler in-process (no HTTP framing).
 
         Tests and embedders use this to drive the exact handler/validation
-        path HTTP callers hit, minus the socket.
+        path HTTP callers hit, minus the socket.  ``query`` (URL query
+        parameters) merges into the handler params with path parameters
+        winning on collision; a caller-supplied ``X-Clipper-Trace-Id``
+        header surfaces as the reserved ``_trace_id`` param so handlers can
+        force-sample the query's trace.
         """
         route, params = self.match(method, path)
+        if query:
+            merged = dict(query)
+            merged.update(params)
+            params = merged
+        if headers:
+            trace_id = headers.get("x-clipper-trace-id")
+            if trace_id:
+                params["_trace_id"] = trace_id
         return await route.handler(params, body)
 
     def describe(self) -> List[Dict[str, str]]:

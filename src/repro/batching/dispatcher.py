@@ -47,6 +47,10 @@ from repro.containers.replica import ContainerReplica
 from repro.core.exceptions import ContainerError, PredictionTimeoutError, RpcError
 from repro.core.metrics import MetricsRegistry
 from repro.core.types import BatchStats
+from repro.observability.logging import get_logger
+from repro.observability.tracing import TRACE_RETRIED
+
+logger = get_logger("batching.dispatcher")
 
 
 class ReplicaDispatcher:
@@ -64,6 +68,7 @@ class ReplicaDispatcher:
         failure_cooldown_ms: float = 20.0,
         pipeline_window: int = 2,
         late_result_sink: Optional[Callable[[PendingQuery, Any], None]] = None,
+        tracer: Optional[Any] = None,
     ) -> None:
         self.replica = replica
         self.queue = queue
@@ -96,6 +101,15 @@ class ReplicaDispatcher:
         self._batch_latency_hist = self.metrics.histogram(f"{prefix}.batch_latency_ms")
         self._batch_size_hist = self.metrics.histogram(f"{prefix}.batch_size")
         self._throughput_meter = self.metrics.meter(f"{prefix}.throughput")
+        # Per-stage latency attribution uses the labels() family fast path:
+        # the child names are hashed here, once, and each batch costs two
+        # plain observe calls against pre-resolved handles.
+        stage_family = self.metrics.histogram_family(f"{prefix}.stage_ms", label="stage")
+        self._queue_wait_hist = stage_family.labels("queue_wait")
+        self._container_eval_hist = stage_family.labels("container_eval")
+        #: The engine's Tracer (None when this dispatcher serves an untraced
+        #: engine); traced queries in a batch get queue-wait/RPC/eval spans.
+        self._tracer = tracer
 
     def start(self) -> asyncio.Task:
         """Start the dispatch loop as a background task."""
@@ -226,13 +240,27 @@ class ReplicaDispatcher:
             if not batch:
                 return
 
-        queue_time_ms = (
-            time.monotonic() - min(item.enqueue_time for item in batch)
-        ) * 1000.0
+        t_batch = time.monotonic()
+        queue_time_ms = (t_batch - min(item.enqueue_time for item in batch)) * 1000.0
+        # Tracing rides along only for batches that carry traced queries:
+        # the common untraced batch pays one attribute read and one ``any``
+        # scan, and no extra wire bytes.
+        span_log: Optional[list] = None
+        traced: Optional[List[PendingQuery]] = None
+        trace_ids: Optional[List[Any]] = None
+        tracer = self._tracer
+        if tracer is not None and tracer.active and any(
+            item.trace is not None for item in batch
+        ):
+            traced = [item for item in batch if item.trace is not None]
+            trace_ids = [item.trace.trace_id for item in traced]
+            span_log = []
         inputs = [item.input for item in batch]
         start = time.perf_counter()
         try:
-            response = await self.replica.predict_batch(inputs)
+            response = await self.replica.predict_batch(
+                inputs, trace=trace_ids, span_log=span_log
+            )
         except (RpcError, ContainerError) as exc:
             self._handle_failed_batch(batch, exc)
             return
@@ -250,6 +278,8 @@ class ReplicaDispatcher:
         self._batch_latency_hist.observe(latency_ms)
         self._batch_size_hist.observe(len(batch))
         self._throughput_meter.mark(len(batch))
+        self._queue_wait_hist.observe(queue_time_ms)
+        self._container_eval_hist.observe(response.container_latency_ms)
 
         if not response.ok:
             self._handle_failed_batch(
@@ -257,6 +287,8 @@ class ReplicaDispatcher:
             )
             return
         self.consecutive_failures = 0
+        if traced is not None:
+            self._record_batch_spans(traced, span_log, response, t_batch)
         sink = self.late_result_sink
         for item, output in zip(batch, response.outputs):
             future = item.future
@@ -272,14 +304,63 @@ class ReplicaDispatcher:
                 # prediction cache.
                 sink(item, output)
 
+    def _record_batch_spans(
+        self,
+        traced: List[PendingQuery],
+        span_log: Optional[list],
+        response: Any,
+        t_batch: float,
+    ) -> None:
+        """Stamp the batch's lifecycle spans onto each traced query.
+
+        Must run before the batch's futures resolve so the engine's
+        :meth:`Tracer.finish` sees the spans; contexts already committed by
+        the straggler deadline are safe to append to because committed
+        records share (do not copy) the context's span list.
+        """
+        t_done = time.monotonic()
+        rpc_spans = span_log or []
+        eval_start, eval_end = response.eval_start, response.eval_end
+        for item in traced:
+            spans = item.trace.spans
+            spans.append(("queue.wait", item.enqueue_time, t_batch, None))
+            if rpc_spans:
+                # batch.assemble covers drain + encode, up to the RPC send.
+                spans.append(("batch.assemble", t_batch, rpc_spans[0][1], None))
+                spans.extend(rpc_spans)
+            if eval_end:
+                spans.append(("container.eval", eval_start, eval_end, None))
+                spans.append(("rpc.recv", eval_end, t_done, None))
+
     def _handle_failed_batch(self, batch: List[PendingQuery], error: Exception) -> None:
         """Requeue failed queries with retry budget left; fail the rest."""
         self.consecutive_failures += 1
         self.batches_failed += 1
         self._cooldown_due = True
+        logger.warning(
+            "batch failed on %s: %s",
+            self.replica.name,
+            error,
+            extra={
+                "model": str(self.replica.model_id),
+                "replica_id": self.replica.replica_id,
+                "batch_size": len(batch),
+                "error_type": type(error).__name__,
+                "consecutive_failures": self.consecutive_failures,
+            },
+        )
+        now = 0.0
         for item in batch:
             if item.future.done():
                 continue
+            trace = item.trace
+            if trace is not None:
+                if not now:
+                    now = time.monotonic()
+                trace.flags |= TRACE_RETRIED
+                trace.spans.append(
+                    ("batch.retry", now, now, {"error": type(error).__name__})
+                )
             if item.attempts < self.max_retries and not self.queue.closed:
                 item.attempts += 1
                 try:

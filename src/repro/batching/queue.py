@@ -54,6 +54,9 @@ class PendingQuery:
     #: failure; the dispatcher fails the future once its retry budget is
     #: exhausted.
     attempts: int = 0
+    #: The query's TraceContext when it is traced (sampled or shadow); the
+    #: dispatcher stamps queue-wait/RPC/eval spans and retry flags on it.
+    trace: Optional[Any] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """Whether the query's deadline has already passed."""

@@ -76,18 +76,29 @@ class ContainerReplica:
             await self._server.stop()
             self._started = False
 
-    async def predict_batch(self, inputs: Sequence[Any]) -> RpcResponse:
+    async def predict_batch(
+        self,
+        inputs: Sequence[Any],
+        trace: Optional[List[Any]] = None,
+        span_log: Optional[list] = None,
+    ) -> RpcResponse:
         """Evaluate one batch on this replica via RPC.
 
         Safe to call with batches already in flight: the RPC client
         pipelines requests and demultiplexes responses by request id, which
         is what lets the dispatcher overlap encoding the next batch with the
         container's evaluation of the current one.
+
+        ``trace``/``span_log`` propagate the tracing layer's batch trace ids
+        and span sink through the RPC client (see :meth:`RpcClient.predict`);
+        both default to off and cost nothing when unused.
         """
         if not self._started:
             raise ContainerError(self._model_key, "replica is not started")
         inputs = inputs if isinstance(inputs, list) else list(inputs)
-        return await self.client.predict(self._model_key, inputs)
+        return await self.client.predict(
+            self._model_key, inputs, trace=trace, span_log=span_log
+        )
 
     async def check_health(self, timeout_s: Optional[float] = None) -> bool:
         """Probe the replica over RPC; True only for a healthy response.

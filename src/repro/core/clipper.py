@@ -61,6 +61,11 @@ from repro.core.exceptions import (
 )
 from repro.core.metrics import MetricsRegistry
 from repro.core.types import Feedback, ModelId, Prediction, Query
+from repro.observability.tracing import (
+    TRACE_ERROR,
+    TRACE_STRAGGLER,
+    Tracer,
+)
 from repro.routing.split import TrafficSplit
 from repro.routing.table import RoutePlan, RoutingTable, parse_namespace_keys
 from repro.selection.manager import SelectionStateManager
@@ -205,6 +210,20 @@ class Clipper:
         self._feedback_counter = self.metrics.counter("feedback.count")
         self._feedback_meter = self.metrics.meter("feedback.throughput")
         self._unavailable_counter = self.metrics.counter("predict.unavailable_models")
+        # The tracing layer follows the same handle discipline: ``begin`` is
+        # bound once, and an untraced query's total tracing cost is that one
+        # call returning None plus per-site ``is not None`` checks.
+        self.tracer = Tracer(
+            self.config.tracing, metrics=self.metrics, component="engine"
+        )
+        self._trace_begin = self.tracer.begin
+        # Shadow (tail-capture) contexts attach only when a query leaves the
+        # cache-hit path; None when tail capture can never trigger.
+        self._trace_shadow = (
+            self.tracer.shadow
+            if self.tracer.active and self.tracer.tail_capture
+            else None
+        )
 
     # -- deployment -----------------------------------------------------------
 
@@ -268,6 +287,7 @@ class Clipper:
             max_retries=record.deployment.max_batch_retries,
             pipeline_window=record.deployment.batching.pipeline_window,
             late_result_sink=late_result_sink,
+            tracer=self.tracer,
         )
 
     def deploy_model(
@@ -660,6 +680,26 @@ class Clipper:
         slo_ms = query.latency_slo_ms or self.config.latency_slo_ms
         deadline = start + slo_ms / 1000.0
 
+        # Tracing: ``begin`` returns a context only for head-sampled (or
+        # caller-forced) queries, so the cache-hit fast path pays exactly one
+        # call returning None plus per-site ``is not None`` branches.  A
+        # shadow context attaches lazily at the first cache miss below — the
+        # only place tail-capture flags (SLO miss, straggler, retry, error)
+        # can originate.  Engine-side per-stage spans are recorded for
+        # *sampled* traces only; the flag sites and the dispatcher's
+        # queue/RPC spans cover shadow traces too, which is what tail
+        # capture needs.
+        trace = sampled = self._trace_begin(query.trace_id, start)
+        if sampled is not None:
+            if query.metadata:
+                # The frontend may have stamped edge-side spans (input
+                # validation) before the engine clock started.
+                pre = query.metadata.get("pre_spans")
+                if pre:
+                    sampled.spans.extend(pre)
+                    sampled.start = pre[0][1]
+            t_stage = start
+
         # The input is hashed exactly once per query; the digest is reused
         # for the routing key, every per-model cache fetch/insert, the
         # pending queue items, and the dispatcher's straggler late-fill.
@@ -669,6 +709,10 @@ class Clipper:
         selected, selection_state = selection.select_with_state(
             query.input, context=query.user_id
         )
+        if sampled is not None:
+            now = time.monotonic()
+            sampled.spans.append(("selection.select", t_stage, now, None))
+            t_stage = now
         pending: Dict[str, asyncio.Future] = {}
         predictions: Dict[str, Any] = {}
         cache_hits = 0
@@ -678,8 +722,12 @@ class Clipper:
                 predictions[model_key] = cached
                 cache_hits += 1
                 continue
+            if trace is None and self._trace_shadow is not None:
+                trace = self._trace_shadow(start)
             try:
-                future = await self._submit(model_key, query, deadline, input_hash)
+                future = await self._submit(
+                    model_key, query, deadline, input_hash, trace
+                )
             except DeploymentError:
                 # The model was undeployed between selection and submission
                 # (a live management op); treat it as missing rather than
@@ -687,8 +735,14 @@ class Clipper:
                 self._unavailable_counter.increment()
                 continue
             pending[model_key] = future
+        if sampled is not None:
+            now = time.monotonic()
+            sampled.spans.append(("cache.lookup", t_stage, now, None))
+            t_stage = now
 
         if pending:
+            if trace is not None:
+                t_wait = time.monotonic()
             # Await each pending model future directly.  With straggler
             # mitigation on, every future self-resolves by the deadline (the
             # sweep timer delivers DEADLINE_MISS), so the sequential loop
@@ -705,16 +759,27 @@ class Clipper:
                     # Container/RPC failure, or the batch layer dropped the
                     # query as already expired.
                     self._container_error_counter.increment()
+                    if trace is not None:
+                        trace.flags |= TRACE_ERROR
                     continue
                 if output is DEADLINE_MISS:
                     # Straggler: rendered without this model (§5.2.2).  Its
                     # late result still lands in the cache — the dispatcher
                     # late-fills through the sink installed at deployment.
                     self._straggler_counter.increment()
+                    if trace is not None:
+                        trace.flags |= TRACE_STRAGGLER
+                        now = time.monotonic()
+                        trace.spans.append(
+                            ("deadline.miss", now, now, {"model": model_key})
+                        )
                     continue
                 output = _detach_output(output)
                 self.cache.put_by_hash(model_key, input_hash, output)
                 predictions[model_key] = output
+            if trace is not None:
+                t_stage = time.monotonic()
+                trace.spans.append(("model.wait", t_wait, t_stage, None))
 
         latency_ms = (time.monotonic() - start) * 1000.0
         if len(predictions) == len(selected):
@@ -734,12 +799,19 @@ class Clipper:
                 return self._finish(
                     query, self.config.default_output, 0.0, latency_ms,
                     selected, missing, default_used=True, from_cache=False,
+                    trace=trace, slo_ms=slo_ms,
+                )
+            if trace is not None:
+                self.tracer.finish(
+                    trace, latency_ms > slo_ms, False, True, query.query_id
                 )
             raise PredictionTimeoutError(query.query_id, slo_ms)
 
         output, confidence = selection.combine(
             query.input, predictions, context=query.user_id, state=selection_state
         )
+        if sampled is not None:
+            sampled.spans.append(("selection.combine", t_stage, time.monotonic(), None))
         default_used = False
         if (
             self.config.confidence_threshold > 0.0
@@ -757,6 +829,8 @@ class Clipper:
             missing,
             default_used=default_used,
             from_cache=cache_hits == len(selected),
+            trace=trace,
+            slo_ms=slo_ms,
         )
 
     async def _submit(
@@ -765,6 +839,7 @@ class Clipper:
         query: Query,
         deadline: Optional[float],
         input_hash: Optional[str] = None,
+        trace: Optional[Any] = None,
     ) -> asyncio.Future:
         record = self._models.get(model_key)
         if record is None:
@@ -776,6 +851,7 @@ class Clipper:
             deadline=deadline if self.config.straggler_mitigation else None,
             query_id=query.query_id,
             input_hash=input_hash,
+            trace=trace,
         )
         if record.queue.maxsize == 0:
             # Unbounded queue (the default): enqueue without suspending.
@@ -796,6 +872,8 @@ class Clipper:
         missing: tuple,
         default_used: bool,
         from_cache: bool,
+        trace: Optional[Any] = None,
+        slo_ms: Optional[float] = None,
     ) -> Prediction:
         self._latency_hist.observe(latency_ms)
         self._throughput_meter.mark()
@@ -806,6 +884,15 @@ class Clipper:
             models_used = tuple(key for key in selected if key not in missing)
         else:
             models_used = tuple(selected)
+        trace_id = None
+        if trace is not None:
+            trace_id = self.tracer.finish(
+                trace,
+                slo_ms is not None and latency_ms > slo_ms,
+                default_used,
+                False,
+                query.query_id,
+            )
         return Prediction(
             query_id=query.query_id,
             app_name=query.app_name,
@@ -816,6 +903,7 @@ class Clipper:
             models_used=models_used,
             models_missing=missing,
             from_cache=from_cache,
+            trace_id=trace_id,
         )
 
     # -- feedback path --------------------------------------------------------

@@ -135,6 +135,42 @@ class ModelDeployment:
 
 
 @dataclass
+class TracingConfig:
+    """Configuration of the request-tracing layer.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch.  When False, :meth:`Tracer.begin` returns ``None``
+        after a single attribute check and every instrumentation point in
+        the engine is one dead branch.
+    sample_every:
+        Head-sampling period: one query in every ``sample_every`` carries a
+        fully-spanned, always-committed trace (default 1/256).  A
+        caller-supplied trace id (``X-Clipper-Trace-Id``) forces sampling
+        for that query regardless.
+    tail_capture:
+        When True (default), unsampled queries carry a lightweight shadow
+        context that is committed only if the query turns out interesting —
+        SLO miss, default-output fallback, straggler, retried batch or
+        container error — so the slow tail is never lost to sampling.
+    ring_capacity:
+        Committed traces retained per component ring buffer.
+    """
+
+    enabled: bool = True
+    sample_every: int = 256
+    tail_capture: bool = True
+    ring_capacity: int = 512
+
+    def __post_init__(self) -> None:
+        if self.sample_every < 1:
+            raise ConfigurationError("sample_every must be >= 1")
+        if self.ring_capacity < 1:
+            raise ConfigurationError("ring_capacity must be >= 1")
+
+
+@dataclass
 class ClipperConfig:
     """Application-level configuration for a Clipper instance.
 
@@ -198,6 +234,7 @@ class ClipperConfig:
     slo_fraction_for_batching: float = 1.0
     routing_seed: int = 0
     seed: Optional[int] = None
+    tracing: TracingConfig = field(default_factory=TracingConfig)
 
     def __post_init__(self) -> None:
         if self.latency_slo_ms <= 0:

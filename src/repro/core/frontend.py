@@ -19,6 +19,7 @@ helpers, which the HTTP server also reuses for startup/shutdown.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, List, Mapping, Optional
 
 from repro.api.schema import ApplicationSchema
@@ -149,18 +150,35 @@ class QueryFrontend(ApplicationHost):
         x: Any,
         user_id: Optional[str] = None,
         latency_slo_ms: Optional[float] = None,
+        trace_id: Optional[str] = None,
     ) -> Prediction:
         """Render a prediction through the named application.
 
         The input is validated (and coerced) against the application's
         declared schema before a :class:`Query` is built — the single
-        validation path shared with HTTP callers.
+        validation path shared with HTTP callers.  A caller-supplied
+        ``trace_id`` (the ``X-Clipper-Trace-Id`` header) force-samples the
+        query's trace; the frontend stamps the validation stage so sampled
+        trace trees start at the edge, not inside the engine.
         """
         clipper = self._lookup(app_name)
-        x = self._schemas[app_name].validate_input(x)
+        metadata = None
+        if clipper.tracer.active:
+            t0 = time.monotonic()
+            x = self._schemas[app_name].validate_input(x)
+            t1 = time.monotonic()
+            metadata = {"pre_spans": (("frontend.validate", t0, t1, None),)}
+        else:
+            x = self._schemas[app_name].validate_input(x)
         query = Query(
-            app_name=app_name, input=x, user_id=user_id, latency_slo_ms=latency_slo_ms
+            app_name=app_name,
+            input=x,
+            user_id=user_id,
+            latency_slo_ms=latency_slo_ms,
+            trace_id=trace_id,
         )
+        if metadata is not None:
+            query.metadata = metadata
         return await clipper.predict(query)
 
     async def update(

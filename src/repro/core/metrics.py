@@ -84,9 +84,12 @@ class Histogram:
         self._count = 0
 
     def observe(self, value: float) -> None:
-        """Record one observation."""
+        """Record one observation.  NaN values are rejected (dropped)."""
+        value = float(value)
+        if value != value:  # NaN check without a math.isnan call
+            return
         with self._lock:
-            self._window.append(float(value))
+            self._window.append(value)
             self._count += 1
 
     @property
@@ -173,6 +176,50 @@ class ArmMetrics:
         return self.latency.p99()
 
 
+class MetricFamily:
+    """Label-addressed bundle of child metrics sharing one base name.
+
+    Extends PR 1's construction-time-handle discipline to labelled metrics:
+    ``family.labels("queue_wait")`` hashes the composed child name
+    (``base{stage="queue_wait"}``) exactly once and memoises the handle, so
+    per-query observations against a stage histogram are a plain dict hit
+    plus the observation — never an f-string or registry probe.
+
+    Children are registered in the owning registry under their composed
+    name, so they appear in snapshots and the Prometheus exposition like
+    any other metric.
+    """
+
+    __slots__ = ("name", "label", "_children", "_create")
+
+    def __init__(self, registry: "MetricsRegistry", name: str, label: str, kind: str, **kwargs) -> None:
+        self.name = name
+        self.label = label
+        self._children: Dict[str, object] = {}
+        if kind == "counter":
+            self._create = registry.counter
+        elif kind == "meter":
+            self._create = registry.meter
+        elif kind == "histogram":
+            window_size = kwargs.get("window_size", 16384)
+            self._create = lambda n: registry.histogram(n, window_size)
+        else:
+            raise ValueError(f"unknown metric family kind: {kind!r}")
+
+    def labels(self, value: str):
+        """The child metric for one label value (created and cached on first use)."""
+        child = self._children.get(value)
+        if child is not None:
+            return child
+        child = self._create(f'{self.name}{{{self.label}="{value}"}}')
+        self._children[value] = child
+        return child
+
+    def children(self) -> Dict[str, object]:
+        """Label value → child metric, for introspection."""
+        return dict(self._children)
+
+
 @dataclass
 class MetricsSnapshot:
     """Immutable snapshot of every metric in a registry."""
@@ -201,6 +248,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._meters: Dict[str, Meter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._families: Dict[tuple, MetricFamily] = {}
         self._lock = threading.Lock()
 
     # The getters take a lock-free fast path for already-registered names:
@@ -243,6 +291,39 @@ class MetricsRegistry:
     def arm(self, prefix: str) -> ArmMetrics:
         """Resolve the request/error/latency handle bundle for one arm."""
         return ArmMetrics(self, prefix)
+
+    def _family(self, kind: str, name: str, label: str, **kwargs) -> MetricFamily:
+        key = (kind, name, label)
+        family = self._families.get(key)
+        if family is not None:
+            return family
+        with self._lock:
+            if key not in self._families:
+                self._families[key] = MetricFamily(self, name, label, kind, **kwargs)
+            return self._families[key]
+
+    def counter_family(self, name: str, label: str = "stage") -> MetricFamily:
+        """A ``labels()``-addressed counter family under ``name``."""
+        return self._family("counter", name, label)
+
+    def meter_family(self, name: str, label: str = "stage") -> MetricFamily:
+        """A ``labels()``-addressed meter family under ``name``."""
+        return self._family("meter", name, label)
+
+    def histogram_family(
+        self, name: str, label: str = "stage", window_size: int = 16384
+    ) -> MetricFamily:
+        """A ``labels()``-addressed histogram family under ``name``."""
+        return self._family("histogram", name, label, window_size=window_size)
+
+    def all_metrics(self):
+        """Raw metric objects by kind — used by the Prometheus renderer."""
+        with self._lock:
+            return (
+                dict(self._counters),
+                dict(self._meters),
+                dict(self._histograms),
+            )
 
     def snapshot(self) -> MetricsSnapshot:
         """Capture the current value of every registered metric."""

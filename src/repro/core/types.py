@@ -122,6 +122,7 @@ class Query:
     query_id: int = field(default_factory=next_query_id)
     arrival_time: float = field(default_factory=time.monotonic)
     metadata: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
     _input_hash: Optional[str] = field(default=None, init=False, repr=False, compare=False)
 
     def input_hash(self) -> str:
@@ -152,6 +153,7 @@ class Prediction:
     models_missing: tuple = ()
     from_cache: bool = False
     metadata: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     @property
     def is_confident(self) -> bool:

@@ -24,6 +24,12 @@ scenarios isolate the framework cost per query:
     query fans out to all models; after warm-up each fan-out is a cache
     hit, so the scenario stresses per-model bookkeeping (hashing, cache
     lookups, metrics) multiplied by the ensemble width.
+``telemetry_overhead``
+    The ``cache_hit`` workload twice, interleaved: once with the default
+    tracing configuration (1/256 head sampling + tail capture), once with
+    tracing disabled.  The paired "telemetry_on"/"telemetry_off" results
+    prove the near-zero-cost requirement of the observability layer: an
+    unsampled query pays one branch on a pre-resolved handle.
 ``http_predict``
     The ``cache_hit`` workload driven through the full REST edge: an
     :class:`~repro.api.http.HttpApiServer` on loopback TCP, queried by
@@ -48,7 +54,12 @@ import numpy as np
 
 from repro.containers.noop import NoOpContainer
 from repro.core.clipper import Clipper
-from repro.core.config import BatchingConfig, ClipperConfig, ModelDeployment
+from repro.core.config import (
+    BatchingConfig,
+    ClipperConfig,
+    ModelDeployment,
+    TracingConfig,
+)
 from repro.core.metrics import summarize_latencies, throughput_qps
 from repro.core.types import Query
 
@@ -93,14 +104,17 @@ def _noop_deployment(name: str, serialize_rpc: bool = False) -> ModelDeployment:
     )
 
 
-def _single_model_clipper(serialize_rpc: bool = False) -> Clipper:
-    clipper = Clipper(
-        ClipperConfig(
-            app_name="hotpath",
-            latency_slo_ms=BENCH_SLO_MS,
-            selection_policy="single",
-        )
+def _single_model_clipper(
+    serialize_rpc: bool = False, tracing: "TracingConfig | None" = None
+) -> Clipper:
+    config = ClipperConfig(
+        app_name="hotpath",
+        latency_slo_ms=BENCH_SLO_MS,
+        selection_policy="single",
     )
+    if tracing is not None:
+        config.tracing = tracing
+    clipper = Clipper(config)
     clipper.deploy_model(_noop_deployment("noop", serialize_rpc=serialize_rpc))
     return clipper
 
@@ -281,17 +295,65 @@ async def run_ensemble(num_queries: int = 3000, width: int = 4) -> HotpathResult
     return _result("ensemble", elapsed, latencies)
 
 
+async def run_telemetry_overhead(
+    num_queries: int = 4000, rounds: int = 4
+) -> List[HotpathResult]:
+    """Price the tracing layer on the fastest path: cache hits, traced vs not.
+
+    Two identical single-model applications serve the same repeated input —
+    one with the default tracing configuration (1/256 head sampling plus
+    shadow tail-capture), one with tracing disabled outright (``begin``
+    returns before touching the pool).  The workload alternates between them
+    in ``rounds`` interleaved slices so scheduler drift and allocator state
+    hit both sides equally.  The pair of results ("telemetry_on" /
+    "telemetry_off") is the evidence for the near-zero-overhead requirement:
+    the traced side must stay within a few percent of the untraced side.
+    """
+    clipper_on = _single_model_clipper(tracing=TracingConfig())
+    clipper_off = _single_model_clipper(tracing=TracingConfig(enabled=False))
+    await clipper_on.start()
+    await clipper_off.start()
+    elapsed = {"telemetry_on": 0.0, "telemetry_off": 0.0}
+    latencies: Dict[str, List[float]] = {"telemetry_on": [], "telemetry_off": []}
+    try:
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(INPUT_FEATURES)
+        await clipper_on.predict(Query(app_name="hotpath", input=x))
+        await clipper_off.predict(Query(app_name="hotpath", input=x))
+        per_round = max(1, num_queries // max(1, rounds))
+        for _ in range(max(1, rounds)):
+            for name, clipper in (
+                ("telemetry_on", clipper_on),
+                ("telemetry_off", clipper_off),
+            ):
+                queries = [
+                    Query(app_name="hotpath", input=x) for _ in range(per_round)
+                ]
+                took, lats = await _drive(clipper, queries, concurrency=1)
+                elapsed[name] += took
+                latencies[name].extend(lats)
+    finally:
+        await clipper_on.stop()
+        await clipper_off.stop()
+    return [
+        _result("telemetry_on", elapsed["telemetry_on"], latencies["telemetry_on"]),
+        _result("telemetry_off", elapsed["telemetry_off"], latencies["telemetry_off"]),
+    ]
+
+
 def run_all(quick: bool = False) -> List[HotpathResult]:
     """Run every scenario (scaled down in ``quick`` mode) and return results."""
     scale = 10 if quick else 1
 
     async def _run() -> List[HotpathResult]:
-        return [
+        results = [
             await run_cache_hit(num_queries=5000 // scale),
             await run_cache_miss(num_queries=2000 // scale),
             await run_cache_miss_wide(num_queries=2000 // scale),
             await run_ensemble(num_queries=3000 // scale),
             await run_http_predict(num_queries=2000 // scale),
         ]
+        results.extend(await run_telemetry_overhead(num_queries=4000 // scale))
+        return results
 
     return asyncio.run(_run())

@@ -53,9 +53,12 @@ from repro.management.recovery import (
     deployment_from_record,
 )
 from repro.management.registry import ModelRegistry
+from repro.observability.logging import get_logger
 from repro.routing.controller import CanaryController
 from repro.routing.split import TrafficSplit
 from repro.state.kvstore import KeyValueStore
+
+logger = get_logger("management.frontend")
 
 
 class ManagementFrontend(ApplicationHost):
@@ -323,6 +326,17 @@ class ManagementFrontend(ApplicationHost):
             except Exception:
                 pass  # surface the registry rejection, not the unwind
             raise
+        logger.info(
+            "deployed %s",
+            model_id,
+            extra={
+                "app": app_name,
+                "model": model_id.name,
+                "version": model_id.version,
+                "num_replicas": deployment.num_replicas,
+                "serving": clipper.active_version(model_id.name) == model_id,
+            },
+        )
         return model_id
 
     async def undeploy_model(self, app_name: str, model: str) -> ModelId:
@@ -335,6 +349,11 @@ class ManagementFrontend(ApplicationHost):
         self._require_registered(app_name, model_id)
         await clipper.undeploy_model(str(model_id))
         self.registry.mark_undeployed(app_name, model_id.name, model_id.version)
+        logger.info(
+            "undeployed %s",
+            model_id,
+            extra={"app": app_name, "model": model_id.name, "version": model_id.version},
+        )
         return model_id
 
     async def set_num_replicas(self, app_name: str, model: str, num_replicas: int) -> int:
@@ -357,16 +376,29 @@ class ManagementFrontend(ApplicationHost):
     async def rollout(self, app_name: str, model_name: str, version: int) -> ModelId:
         """Atomically switch ``model_name`` to serve ``version``."""
         clipper = self._lookup(app_name)
-        return self._switch_version(
+        model_id = self._switch_version(
             clipper, app_name, model_name, lambda: clipper.rollout(model_name, version)
         )
+        logger.info(
+            "rolled out %s",
+            model_id,
+            extra={"app": app_name, "model": model_name, "version": model_id.version},
+        )
+        return model_id
 
     async def rollback(self, app_name: str, model_name: str) -> ModelId:
         """Atomically switch ``model_name`` back to its previous version."""
         clipper = self._lookup(app_name)
-        return self._switch_version(
+        model_id = self._switch_version(
             clipper, app_name, model_name, lambda: clipper.rollback(model_name)
         )
+        logger.warning(
+            "rolled back %s to %s",
+            model_name,
+            model_id,
+            extra={"app": app_name, "model": model_name, "version": model_id.version},
+        )
+        return model_id
 
     # -- canary rollouts -------------------------------------------------------
 
@@ -393,6 +425,16 @@ class ManagementFrontend(ApplicationHost):
             except Exception:
                 pass  # surface the registry rejection, not the unwind
             raise
+        logger.info(
+            "canary started for %s",
+            model_name,
+            extra={
+                "app": app_name,
+                "model": model_name,
+                "version": version,
+                "weight": weight,
+            },
+        )
         return split
 
     async def adjust_canary(
@@ -431,6 +473,11 @@ class ManagementFrontend(ApplicationHost):
             except Exception:
                 pass  # surface the registry rejection, not the unwind
             raise
+        logger.info(
+            "canary promoted for %s",
+            model_name,
+            extra={"app": app_name, "model": model_name, "version": model_id.version},
+        )
         return model_id
 
     async def abort_canary(self, app_name: str, model_name: str) -> ModelId:
@@ -449,6 +496,11 @@ class ManagementFrontend(ApplicationHost):
             except Exception:
                 pass  # surface the registry rejection, not the unwind
             raise
+        logger.warning(
+            "canary aborted for %s",
+            model_name,
+            extra={"app": app_name, "model": model_name, "version": model_id.version},
+        )
         return model_id
 
     def traffic_split(

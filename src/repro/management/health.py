@@ -39,6 +39,9 @@ from repro.management.records import (
     REPLICA_RECOVERING,
     ReplicaHealth,
 )
+from repro.observability.logging import get_logger
+
+logger = get_logger("management.health")
 
 
 class HealthMonitor:
@@ -200,6 +203,16 @@ class HealthMonitor:
         status.mark(REPLICA_QUARANTINED)
         status.quarantines += 1
         self._quarantine_counter.increment()
+        logger.warning(
+            "replica quarantined: %s",
+            replica.name,
+            extra={
+                "model": str(record.model_id),
+                "replica_id": replica.replica_id,
+                "quarantines": status.quarantines,
+                "consecutive_failures": status.consecutive_failures,
+            },
+        )
         dispatcher = record.dispatcher_for(replica)
         if dispatcher is not None:
             # Detach from the live queue: the in-flight batch completes (or
@@ -254,6 +267,15 @@ class HealthMonitor:
                     status.mark(REPLICA_HEALTHY)
                     status.consecutive_failures = 0
                     self._recovery_counter.increment()
+                    logger.info(
+                        "replica recovered: %s",
+                        fresh.name,
+                        extra={
+                            "model": str(record.model_id),
+                            "replica_id": fresh.replica_id,
+                            "restarts": status.restarts,
+                        },
+                    )
                     return
                 status.mark(REPLICA_QUARANTINED)
                 backoff = min(backoff * self.backoff_factor, self.max_backoff_s)

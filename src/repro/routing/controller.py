@@ -27,7 +27,11 @@ from dataclasses import dataclass, field
 from typing import Any, Awaitable, Callable, Dict, List, Optional
 
 from repro.core.exceptions import RoutingError
+from repro.observability.logging import get_logger
+from repro.observability.tracing import TRACE_CANARY
 from repro.routing.split import TrafficSplit
+
+logger = get_logger("routing.controller")
 
 #: Health state a replica must hold for its arm to be considered sound
 #: (mirrors ``repro.management.records.REPLICA_HEALTHY``; the literal avoids
@@ -315,6 +319,38 @@ class CanaryController:
             reason=reason,
             checks=watch.healthy_checks,
             extra=extra,
+        )
+        # Promote/abort decisions are tail-captured as standalone event
+        # traces (a canary abort is exactly the interesting 0.1%), so they
+        # are queryable via GET /api/v1/trace/<id> next to request traces.
+        tracer = getattr(self.clipper, "tracer", None)
+        if tracer is not None:
+            trace_id = tracer.capture_event(
+                f"canary.{action}",
+                meta={
+                    "model": name,
+                    "canary_key": watch.canary_key,
+                    "stable_key": watch.stable_key,
+                    "reason": reason,
+                    **{k: v for k, v in extra.items() if isinstance(v, (int, float, str))},
+                },
+                flags=TRACE_CANARY,
+                component="routing",
+            )
+            if trace_id is not None:
+                decision.extra["trace_id"] = trace_id
+        logger.info(
+            "canary %s: %s",
+            action,
+            name,
+            extra={
+                "action": action,
+                "model": name,
+                "canary_key": watch.canary_key,
+                "reason": reason,
+                "checks": watch.healthy_checks,
+                "trace_id": decision.extra.get("trace_id"),
+            },
         )
         self.decisions.append(decision)
         return decision

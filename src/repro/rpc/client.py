@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from typing import Any, Dict, List, Optional
 
 from repro.core.exceptions import RpcError
@@ -35,13 +36,23 @@ class RpcClient:
         self._pump_task: Optional[asyncio.Task] = None
 
     async def predict(
-        self, model_name: str, inputs: List[Any], metadata: Optional[dict] = None
+        self,
+        model_name: str,
+        inputs: List[Any],
+        metadata: Optional[dict] = None,
+        trace: Optional[List[Any]] = None,
+        span_log: Optional[list] = None,
     ) -> RpcResponse:
         """Send one batch and wait for the aligned batch of outputs.
 
         Safe to call concurrently: requests are written to the transport one
         at a time, but callers wait on their own response waiter, so a new
         batch can be sent while earlier batches are still being evaluated.
+
+        ``trace`` carries the trace ids of traced queries in the batch (the
+        optional wire header); ``span_log``, when given, receives
+        ``("rpc.send"/"rpc.wait", t0, t1, None)`` monotonic span tuples for
+        the send and response-wait legs of this exchange.
         """
         if not inputs:
             raise RpcError("cannot send an empty prediction batch")
@@ -50,8 +61,11 @@ class RpcClient:
             model_name=model_name,
             inputs=inputs,
             metadata=metadata or {},
+            trace=tuple(trace) if trace else (),
         )
-        payload = await self._exchange(request.request_id, request.to_payload())
+        payload = await self._exchange(
+            request.request_id, request.to_payload(), span_log=span_log
+        )
         response = RpcResponse.from_payload(payload)
         if response.ok and len(response.outputs) != len(inputs):
             raise RpcError(
@@ -89,13 +103,18 @@ class RpcClient:
         )
 
     async def _exchange(
-        self, request_id: int, message: dict, timeout_s: Optional[float] = ...
+        self,
+        request_id: int,
+        message: dict,
+        timeout_s: Optional[float] = ...,
+        span_log: Optional[list] = None,
     ) -> dict:
         """Send one message and wait for the response with its request id."""
         if timeout_s is ...:
             timeout_s = self._timeout_s
         loop = asyncio.get_running_loop()
         waiter: asyncio.Future = loop.create_future()
+        t_send = time.monotonic() if span_log is not None else 0.0
         async with self._send_lock:
             self._ensure_pump(loop)
             self._pending[request_id] = waiter
@@ -104,15 +123,22 @@ class RpcClient:
             except BaseException:
                 self._pending.pop(request_id, None)
                 raise
+        if span_log is not None:
+            t_sent = time.monotonic()
+            span_log.append(("rpc.send", t_send, t_sent, None))
         try:
             if timeout_s is None:
-                return await waiter
-            try:
-                return await asyncio.wait_for(waiter, timeout=timeout_s)
-            except asyncio.TimeoutError as exc:
-                raise RpcError(
-                    f"timed out after {timeout_s}s waiting for response"
-                ) from exc
+                payload = await waiter
+            else:
+                try:
+                    payload = await asyncio.wait_for(waiter, timeout=timeout_s)
+                except asyncio.TimeoutError as exc:
+                    raise RpcError(
+                        f"timed out after {timeout_s}s waiting for response"
+                    ) from exc
+            if span_log is not None:
+                span_log.append(("rpc.wait", t_sent, time.monotonic(), None))
+            return payload
         finally:
             # A response arriving after a timeout finds no pending entry and
             # is dropped by the pump (the old stale-response behaviour).

@@ -54,17 +54,24 @@ class RpcRequest:
     model_name: str
     inputs: List[Any]
     metadata: dict = field(default_factory=dict)
+    #: Trace ids of the traced queries in this batch (empty when untraced).
+    #: Optional header field: omitted from the wire payload when empty, so
+    #: untraced batches pay zero extra bytes.
+    trace: tuple = ()
 
     def to_payload(self) -> dict:
         # ``inputs`` is shared, not copied: receivers copy in from_payload,
         # so the in-process pass-through transport stays aliasing-safe.
-        return {
+        payload = {
             "type": int(MessageType.PREDICT),
             "request_id": self.request_id,
             "model_name": self.model_name,
             "inputs": self.inputs,
             "metadata": self.metadata,
         }
+        if self.trace:
+            payload["trace"] = list(self.trace)
+        return payload
 
     @staticmethod
     def from_payload(payload: dict) -> "RpcRequest":
@@ -73,6 +80,7 @@ class RpcRequest:
             model_name=str(payload["model_name"]),
             inputs=list(payload["inputs"]),
             metadata=dict(payload.get("metadata", {})),
+            trace=tuple(payload.get("trace", ())),
         )
 
 
@@ -84,19 +92,30 @@ class RpcResponse:
     outputs: List[Any]
     error: Optional[str] = None
     container_latency_ms: float = 0.0
+    #: Echo of the request's trace header plus the container's monotonic
+    #: evaluation window; only present on the wire for traced batches.
+    trace: tuple = ()
+    eval_start: float = 0.0
+    eval_end: float = 0.0
 
     @property
     def ok(self) -> bool:
         return self.error is None
 
     def to_payload(self) -> dict:
-        return {
+        payload = {
             "type": int(MessageType.PREDICT_RESPONSE),
             "request_id": self.request_id,
             "outputs": self.outputs,
             "error": self.error,
             "container_latency_ms": float(self.container_latency_ms),
         }
+        if self.trace:
+            payload["trace"] = list(self.trace)
+        if self.eval_end:
+            payload["eval_start"] = float(self.eval_start)
+            payload["eval_end"] = float(self.eval_end)
+        return payload
 
     @staticmethod
     def from_payload(payload: dict) -> "RpcResponse":
@@ -105,6 +124,9 @@ class RpcResponse:
             outputs=list(payload.get("outputs", [])),
             error=payload.get("error"),
             container_latency_ms=float(payload.get("container_latency_ms", 0.0)),
+            trace=tuple(payload.get("trace", ())),
+            eval_start=float(payload.get("eval_start", 0.0)),
+            eval_end=float(payload.get("eval_end", 0.0)),
         )
 
 

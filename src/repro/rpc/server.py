@@ -99,6 +99,12 @@ class ContainerRpcServer:
         await self._transport.send(response.to_payload())
 
     async def _evaluate(self, request: RpcRequest) -> RpcResponse:
+        # Traced batches additionally get monotonic eval stamps: same-host
+        # dispatchers turn them into a ``container.eval`` span nested inside
+        # the client's ``rpc.wait`` leg.  Untraced batches skip the stamps
+        # (and the wire bytes) entirely.
+        traced = bool(request.trace)
+        eval_start = time.monotonic() if traced else 0.0
         start = time.perf_counter()
         try:
             if self._use_executor:
@@ -114,6 +120,9 @@ class ContainerRpcServer:
                 request_id=request.request_id,
                 outputs=list(outputs),
                 container_latency_ms=latency_ms,
+                trace=request.trace,
+                eval_start=eval_start,
+                eval_end=time.monotonic() if traced else 0.0,
             )
         except Exception as exc:  # container failures must not kill the server
             latency_ms = (time.perf_counter() - start) * 1000.0
@@ -122,6 +131,7 @@ class ContainerRpcServer:
                 outputs=[],
                 error=f"{type(exc).__name__}: {exc}",
                 container_latency_ms=latency_ms,
+                trace=request.trace,
             )
 
     async def stop(self) -> None:

@@ -66,6 +66,34 @@ class TestHistogram:
         assert math.isnan(hist.mean())
         assert math.isnan(hist.p99())
 
+    def test_empty_reservoir_quantiles_all_nan(self):
+        hist = Histogram("h")
+        assert math.isnan(hist.p50())
+        assert math.isnan(hist.p95())
+        assert math.isnan(hist.max())
+        assert hist.count == 0
+        assert hist.values() == []
+
+    def test_single_sample_quantiles_collapse_to_it(self):
+        hist = Histogram("h")
+        hist.observe(7.5)
+        assert hist.p50() == 7.5
+        assert hist.p95() == 7.5
+        assert hist.p99() == 7.5
+        assert hist.mean() == 7.5
+        assert hist.max() == 7.5
+        assert hist.count == 1
+
+    def test_nan_observations_are_rejected(self):
+        hist = Histogram("h")
+        hist.observe(float("nan"))
+        assert hist.count == 0
+        hist.observe(1.0)
+        hist.observe(float("nan"))
+        assert hist.count == 1
+        assert hist.values() == [1.0]
+        assert hist.p50() == 1.0
+
 
 class TestRegistry:
     def test_same_name_returns_same_metric(self):
@@ -90,6 +118,39 @@ class TestRegistry:
         registry.counter("queries").increment(4)
         registry.reset()
         assert registry.counter("queries").value == 0
+
+
+class TestMetricFamily:
+    def test_labels_memoises_children(self):
+        registry = MetricsRegistry()
+        family = registry.histogram_family("predict.stage_ms", label="stage")
+        child = family.labels("rpc.send")
+        assert family.labels("rpc.send") is child
+        assert family.labels("queue_wait") is not child
+
+    def test_child_names_carry_inline_label(self):
+        registry = MetricsRegistry()
+        family = registry.counter_family("events", label="kind")
+        child = family.labels("retry")
+        assert child.name == 'events{kind="retry"}'
+
+    def test_children_register_in_main_registry(self):
+        registry = MetricsRegistry()
+        family = registry.histogram_family("stage_ms", label="stage")
+        family.labels("combine").observe(1.0)
+        snapshot = registry.snapshot()
+        assert 'stage_ms{stage="combine"}' in snapshot.histograms
+        # The child IS the registry's histogram under that composed name.
+        assert family.labels("combine") is registry.histogram('stage_ms{stage="combine"}')
+
+    def test_same_family_returned_for_same_name(self):
+        registry = MetricsRegistry()
+        assert registry.histogram_family("f", label="stage") is registry.histogram_family(
+            "f", label="stage"
+        )
+        assert registry.meter_family("f2").labels("a") is registry.meter_family(
+            "f2"
+        ).labels("a")
 
 
 class TestHelpers:
