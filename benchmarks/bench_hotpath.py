@@ -2,10 +2,11 @@
 
 Unlike the figure benchmarks (which reproduce the paper's evaluation), this
 benchmark measures the reproduction's own serving hot path — cache-hit,
-cache-miss (plain and serialized wide), ensemble, REST-edge
-(``http_predict``) and telemetry-overhead scenarios through a full Clipper
-instance with no-op containers — so perf-focused PRs have a number to move.
-Run with::
+cache-miss (plain, serialized wide, and over the TCP / shared-memory replica
+transports), ensemble, REST-edge (``http_predict`` and its binary columnar
+twin ``http_predict_binary``) and telemetry-overhead scenarios through a
+full Clipper instance with no-op containers — so perf-focused PRs have a
+number to move.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s -q
 
@@ -40,8 +41,12 @@ def test_hotpath_scenarios():
     # run-to-run noise.
     assert by_name["cache_hit"].qps > 200.0
     assert by_name["cache_miss_wide"].qps > 50.0
+    assert by_name["cache_miss_tcp"].qps > 50.0
+    if "cache_miss_shm" in by_name:  # absent where shared memory is missing
+        assert by_name["cache_miss_shm"].qps > 50.0
     assert by_name["ensemble"].qps > 100.0
     assert by_name["http_predict"].qps > 20.0
+    assert by_name["http_predict_binary"].qps > 20.0
     # Every scenario must comfortably meet the benchmark SLO at the median.
     for result in results:
         assert result.latency_ms["p50"] < BENCH_SLO_MS

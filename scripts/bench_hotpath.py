@@ -2,8 +2,10 @@
 """Measure serving hot-path throughput/latency and write ``BENCH_hotpath.json``.
 
 Runs the scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
-cache-miss, serialized wide cache-miss, four-model ensemble, the REST edge
-``http_predict``, and the telemetry-overhead A/B pair) through a full
+cache-miss, serialized wide cache-miss — in-process, over loopback TCP and
+over the shared-memory ring transport — four-model ensemble, the REST edge
+``http_predict`` plus its binary columnar twin ``http_predict_binary``, and
+the telemetry-overhead A/B pair) through a full
 :class:`repro.core.clipper.Clipper` instance with no-op containers, and
 records p50/p99 latency and QPS per scenario so successive PRs have a perf
 trajectory to compare against.
@@ -21,8 +23,11 @@ layout is::
         "cache_hit": {"qps": ..., "p50_ms": ..., "p99_ms": ..., ...},
         "cache_miss": {...},
         "cache_miss_wide": {...},
+        "cache_miss_tcp": {...},
+        "cache_miss_shm": {...},
         "ensemble": {...},
         "http_predict": {...},
+        "http_predict_binary": {...},
         "telemetry_on": {...},
         "telemetry_off": {...}
       }
@@ -33,8 +38,14 @@ Interpretation: ``qps`` is end-to-end queries/second through ``predict``;
 cache-hit and ensemble scenarios are the pure-framework numbers a perf PR
 must not regress; cache-miss additionally includes batching/RPC costs,
 cache-miss-wide adds the binary wire format (columnar batches, zero-copy
-decode) to the measured path, and http_predict prices the REST edge (HTTP
-framing, JSON codec, schema validation) against the in-process cache_hit.
+decode) to the measured path, and the ``cache_miss_tcp``/``cache_miss_shm``
+pair runs that same workload with the replica behind a loopback socket vs
+the shared-memory ring (``cache_miss_shm`` is omitted on platforms without
+``multiprocessing.shared_memory``).  ``http_predict`` prices the REST edge
+(HTTP framing, JSON codec, schema validation) against the in-process
+cache_hit, and ``http_predict_binary`` replays it over the binary columnar
+content type — the http_predict_binary/http_predict ratio is the measured
+payoff of the binary wire format.
 The ``telemetry_on``/``telemetry_off`` pair prices the tracing layer at its
 default 1/256 sampling against tracing disabled; the ratio must stay within
 a few percent of 1.0.

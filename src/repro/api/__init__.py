@@ -13,6 +13,9 @@ Layers, bottom to top:
 ``repro.api.routes``
     The versioned route table binding ``/api/v1/...`` paths to handler
     objects, independent of any transport.
+``repro.api.columnar``
+    The binary columnar content type: the RPC layer's zero-copy wire
+    format registered as an HTTP encoding.
 ``repro.api.handlers``
     Builds the route table over a :class:`~repro.core.frontend.QueryFrontend`
     and a :class:`~repro.management.frontend.ManagementFrontend`.
@@ -29,8 +32,10 @@ from repro.api.errors import (
     BadRequestError,
     DuplicateApplicationError,
     MethodNotAllowedError,
+    NotAcceptableError,
     RouteNotFoundError,
     UnknownApplicationError,
+    UnsupportedMediaTypeError,
     ValidationError,
     error_payload,
 )
@@ -44,19 +49,23 @@ __all__ = [
     "ApiResponse",
     "ApplicationSchema",
     "BadRequestError",
+    "COLUMNAR_CONTENT_TYPE",
     "DuplicateApplicationError",
     "HttpApiServer",
     "INPUT_TYPES",
     "MethodNotAllowedError",
+    "NotAcceptableError",
     "Route",
     "RouteNotFoundError",
     "RouteTable",
     "UnknownApplicationError",
+    "UnsupportedMediaTypeError",
     "ValidationError",
     "build_route_table",
     "create_server",
     "error_payload",
     "json_safe",
+    "register_columnar",
 ]
 
 #: Names resolved lazily to their defining module (PEP 562): these modules
@@ -65,6 +74,8 @@ _LAZY = {
     "HttpApiServer": "repro.api.http",
     "create_server": "repro.api.http",
     "build_route_table": "repro.api.handlers",
+    "COLUMNAR_CONTENT_TYPE": "repro.api.columnar",
+    "register_columnar": "repro.api.columnar",
 }
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "BadRequestError",
     "DuplicateApplicationError",
     "MethodNotAllowedError",
+    "NotAcceptableError",
     "RouteNotFoundError",
     "UnknownApplicationError",
     "UnsupportedMediaTypeError",
@@ -61,6 +62,13 @@ class UnsupportedMediaTypeError(ClipperError):
 
     code = "unsupported_media_type"
     http_status = 415
+
+
+class NotAcceptableError(ClipperError):
+    """None of the media types the ``Accept`` header lists has an encoder."""
+
+    code = "not_acceptable"
+    http_status = 406
 
 
 def status_of(exc: BaseException) -> int:

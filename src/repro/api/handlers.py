@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Mapping, Optional
 
+import numpy as np
+
 from repro.api.errors import RouteNotFoundError
 from repro.api.routes import API_PREFIX, ApiResponse, RouteTable
 from repro.api.schema import json_safe, require_field, require_object
@@ -211,7 +213,12 @@ def build_route_table(
             # Resolve the application first so an unknown name is a 404 even
             # when the body is also malformed.
             schema = query.schema(app_name)
-            x = schema.decode_wire_input(require_field(payload, "input"))
+            raw = require_field(payload, "input")
+            # Binary fast path: a columnar body lands here with the input
+            # already a typed ndarray (a zero-copy view into the received
+            # frame) — skip the JSON wire codec and hand it to the frontend,
+            # whose validation coerces conforming arrays without a copy.
+            x = raw if isinstance(raw, np.ndarray) else schema.decode_wire_input(raw)
             prediction = await query.predict(
                 app_name,
                 x,
@@ -230,7 +237,8 @@ def build_route_table(
             payload = require_object(body)
             app_name = params["app"]
             schema = query.schema(app_name)
-            x = schema.decode_wire_input(require_field(payload, "input"))
+            raw = require_field(payload, "input")
+            x = raw if isinstance(raw, np.ndarray) else schema.decode_wire_input(raw)
             label = require_field(payload, "label")
             await query.update(
                 app_name, x, label, user_id=_optional_str(payload, "user_id")

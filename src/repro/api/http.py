@@ -10,9 +10,12 @@ surface needs:
 * **keep-alive** connections (``Connection: close`` honoured; HTTP/1.0
   defaults to close) so clients amortize the TCP handshake across queries,
 * JSON request/response bodies (binary inputs travel as base64 per the
-  application schema), with a **content-type negotiation hook**
-  (:meth:`HttpApiServer.register_content_type`) so a future binary/columnar
-  encoding can register alongside JSON without touching the handlers,
+  application schema), with **content-type negotiation**
+  (:meth:`HttpApiServer.register_content_type`): proper ``Accept`` handling
+  — multi-valued headers, ``q`` values, ``*/*``, 406 when nothing matches —
+  selects among registered encodings.  :func:`create_server` registers the
+  binary columnar format (:mod:`repro.api.columnar`) alongside JSON, whose
+  responses stream out as zero-copy buffer segments,
 * the structured error model: every failure — framing, routing, validation,
   serving — renders as ``{"error": {code, status, message, detail}}``.
 
@@ -32,7 +35,9 @@ from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 from urllib.parse import parse_qsl
 
 from repro.api.errors import (
+    ApiError,
     BadRequestError,
+    NotAcceptableError,
     UnsupportedMediaTypeError,
     error_payload,
     status_of,
@@ -50,6 +55,7 @@ _REASONS = {
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    406: "Not Acceptable",
     409: "Conflict",
     413: "Content Too Large",
     415: "Unsupported Media Type",
@@ -61,6 +67,34 @@ _REASONS = {
 }
 
 JSON_CONTENT_TYPE = "application/json"
+
+#: Static response-head fragments, rendered once and reused: the per-response
+#: head is a join of cached byte fragments plus the one dynamic number
+#: (``Content-Length``) — no per-response f-string assembly on the hot path.
+_HEAD_PREFIXES: Dict[Tuple[int, bool], bytes] = {}
+_CT_LINES: Dict[str, bytes] = {}
+
+
+def _head_prefix(status: int, keep_alive: bool) -> bytes:
+    """``HTTP/1.1 <status> <reason>\\r\\nConnection: ...\\r\\n``, cached."""
+    key = (status, keep_alive)
+    prefix = _HEAD_PREFIXES.get(key)
+    if prefix is None:
+        reason = _REASONS.get(status, "Unknown")
+        connection = "keep-alive" if keep_alive else "close"
+        prefix = f"HTTP/1.1 {status} {reason}\r\nConnection: {connection}\r\n".encode(
+            "ascii"
+        )
+        _HEAD_PREFIXES[key] = prefix
+    return prefix
+
+
+def _content_type_line(content_type: str) -> bytes:
+    line = _CT_LINES.get(content_type)
+    if line is None:
+        line = f"Content-Type: {content_type}\r\n".encode("ascii")
+        _CT_LINES[content_type] = line
+    return line
 
 
 class _FramingError(Exception):
@@ -258,11 +292,8 @@ class HttpApiServer:
                     break  # client closed cleanly between requests
                 method, path, query_string, headers, body_bytes = request
                 keep_alive = self._wants_keep_alive(headers)
-                status, body, accept, extra_headers = await self._dispatch(
+                status, body, content_type, extra_headers = await self._dispatch(
                     method, path, query_string, headers, body_bytes
-                )
-                content_type = (
-                    accept if accept in self._encoders else JSON_CONTENT_TYPE
                 )
                 await self._write_response(
                     writer,
@@ -360,6 +391,55 @@ class HttpApiServer:
             return "keep-alive" in connection
         return True  # HTTP/1.1 default
 
+    def _negotiate_accept(self, header: Optional[str]) -> str:
+        """Pick the response encoding from the ``Accept`` header.
+
+        Full media-range negotiation over the registered encoders:
+        comma-separated ranges with ``q`` values; ``*/*`` (and
+        ``application/*``) mean "anything", which negotiation answers with
+        JSON; the highest ``q`` wins and the first-listed range wins ties.
+        No header — or one with no parseable range — keeps the JSON
+        default; a header that explicitly rules out every registered
+        encoder is a 406 :class:`NotAcceptableError`.
+        """
+        if header is None:
+            return JSON_CONTENT_TYPE
+        best: Optional[str] = None
+        best_q = 0.0
+        saw_range = False
+        for item in header.split(","):
+            fields = item.split(";")
+            media = fields[0].strip().lower()
+            if not media:
+                continue
+            saw_range = True
+            q = 1.0
+            for param in fields[1:]:
+                name, _, value = param.strip().partition("=")
+                if name.strip().lower() == "q":
+                    try:
+                        q = float(value)
+                    except ValueError:
+                        q = 0.0
+            if q <= 0.0:
+                continue  # q=0 means "never send me this"
+            if media in ("*/*", "application/*"):
+                candidate = JSON_CONTENT_TYPE
+            elif media in self._encoders:
+                candidate = media
+            else:
+                continue
+            if q > best_q:
+                best, best_q = candidate, q
+        if best is not None:
+            return best
+        if not saw_range:
+            return JSON_CONTENT_TYPE
+        raise NotAcceptableError(
+            f"no registered encoder satisfies Accept '{header}'",
+            detail={"supported": sorted(self._encoders)},
+        )
+
     async def _dispatch(
         self,
         method: str,
@@ -368,9 +448,14 @@ class HttpApiServer:
         headers: Dict[str, str],
         body_bytes: bytes,
     ) -> Tuple[int, Any, str, Dict[str, str]]:
-        """Route one request; every failure renders as the structured error."""
-        accept = headers.get("accept", JSON_CONTENT_TYPE).split(";")[0].strip().lower()
+        """Route one request; every failure renders as the structured error.
+
+        Errors always render as JSON regardless of the negotiated encoding
+        (negotiation itself may be what failed); clients pick their response
+        decoder by the ``Content-Type`` header, not by what they asked for.
+        """
         try:
+            accept = self._negotiate_accept(headers.get("accept"))
             body: Any = None
             if body_bytes:
                 content_type = (
@@ -387,7 +472,10 @@ class HttpApiServer:
                     )
                 try:
                     body = decoder(body_bytes)
-                except UnsupportedMediaTypeError:
+                except ApiError:
+                    # A decoder speaking the structured error model (e.g. the
+                    # columnar codec's 400 on a corrupt frame) speaks for
+                    # itself; everything else is a generic bad request.
                     raise
                 except Exception:
                     raise BadRequestError(
@@ -411,7 +499,7 @@ class HttpApiServer:
                     },
                     exc_info=True,
                 )
-            return status, error_payload(exc), accept, {}
+            return status, error_payload(exc), JSON_CONTENT_TYPE, {}
 
     async def _write_response(
         self,
@@ -428,19 +516,28 @@ class HttpApiServer:
         a ``str``/``bytes`` body travel raw (how the Prometheus text
         exposition bypasses the JSON encoder); other extra headers are
         emitted verbatim (e.g. ``X-Clipper-Trace-Id``).
+
+        Encoders may return either one ``bytes`` payload or a writev-style
+        *list* of byte segments (how the columnar encoder hands back
+        zero-copy ndarray views): the head is joined from precomputed
+        fragments and the body segments go to the stream with
+        ``writelines`` — the body is never concatenated with its headers.
         """
-        header_lines = ""
+        extra = b""
         if extra_headers:
             override = None
+            lines = []
             for name, value in extra_headers.items():
                 if name.lower() == "content-type":
                     override = value
                 else:
-                    header_lines += f"{name}: {value}\r\n"
+                    lines.append(f"{name}: {value}\r\n")
+            if lines:
+                extra = "".join(lines).encode("latin-1")
             if override is not None:
                 content_type = override
         if isinstance(body, (str, bytes)) and content_type not in self._encoders:
-            payload = body.encode("utf-8") if isinstance(body, str) else body
+            segments = [body.encode("utf-8") if isinstance(body, str) else body]
         else:
             encoder = self._encoders.get(content_type, _encode_json)
             try:
@@ -451,16 +548,19 @@ class HttpApiServer:
                 content_type = JSON_CONTENT_TYPE
                 status = 500
                 payload = _encode_json(error_payload(Exception()))
-        reason = _REASONS.get(status, "Unknown")
-        head = (
-            f"HTTP/1.1 {status} {reason}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(payload)}\r\n"
-            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-            f"{header_lines}"
-            "\r\n"
-        ).encode("ascii")
-        writer.write(head + payload)
+            segments = payload if isinstance(payload, list) else [payload]
+        length = sum(len(segment) for segment in segments)
+        head = b"".join(
+            (
+                _head_prefix(status, keep_alive),
+                _content_type_line(content_type),
+                b"Content-Length: %d\r\n" % length,
+                extra,
+                b"\r\n",
+            )
+        )
+        writer.write(head)
+        writer.writelines(segments)
         await writer.drain()
 
 
@@ -470,9 +570,15 @@ def create_server(
     factories: Optional[Mapping[str, Callable[[], object]]] = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    columnar: bool = True,
     **server_kwargs: Any,
 ) -> HttpApiServer:
     """Build the route table over the frontends and wrap it in a server.
+
+    Unless ``columnar=False``, the binary columnar content type
+    (:mod:`repro.api.columnar`) is registered alongside JSON, so
+    binary-speaking clients negotiate it via ``Accept``/``Content-Type``
+    out of the box.
 
     The server owns the lifecycle of every application either frontend
     hosts — including ones registered *after* this call: the frontends'
@@ -497,7 +603,7 @@ def create_server(
     ]
     applications: Mapping[str, Any] = maps[0] if len(maps) == 1 else ChainMap(*maps)
     routes = build_route_table(query=query, admin=admin, factories=factories)
-    return HttpApiServer(
+    server = HttpApiServer(
         routes,
         host=host,
         port=port,
@@ -505,3 +611,8 @@ def create_server(
         managers=(admin,) if admin is not None else (),
         **server_kwargs,
     )
+    if columnar:
+        from repro.api.columnar import register_columnar
+
+        register_columnar(server)
+    return server

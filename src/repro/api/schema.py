@@ -207,15 +207,19 @@ class ApplicationSchema:
     # -- wire codec ------------------------------------------------------------
 
     def decode_wire_input(self, raw: Any) -> Any:
-        """Decode the JSON ``input`` field of a request body.
+        """Decode the ``input`` field of a request body.
 
-        The only transport-specific step: ``bytes`` inputs travel as base64
-        text (JSON has no binary type) and are decoded here; every other
-        type's JSON value is already the in-process representation.  Full
-        validation happens afterwards in :meth:`validate_input`, shared with
-        in-process callers.
+        The only transport-specific step: over JSON, ``bytes`` inputs travel
+        as base64 text (JSON has no binary type) and are decoded here; the
+        binary columnar encoding carries bytes natively, so ``bytes``-like
+        values pass straight through.  Every other type's wire value is
+        already the in-process representation.  Full validation happens
+        afterwards in :meth:`validate_input`, shared with in-process
+        callers.
         """
         if self.input_type == "bytes":
+            if isinstance(raw, (bytes, bytearray, memoryview)):
+                return bytes(raw)
             if not isinstance(raw, str):
                 raise ValidationError(
                     f"application '{self.app_name}' takes bytes input, "

@@ -3,9 +3,13 @@
 Applications and operator tooling import this package — and nothing else
 from the library — to talk to a served Clipper: the serving engine stays on
 the other side of the HTTP boundary, exactly as in the paper's Figure 2.
+Clients built with ``binary=True`` negotiate the columnar binary wire
+encoding (``COLUMNAR_CONTENT_TYPE``) for predict/update, with transparent
+JSON fallback against servers that do not speak it.
 """
 
 from repro.client.client import (
+    COLUMNAR_CONTENT_TYPE,
     AdminClient,
     ApiStatusError,
     AsyncAdminClient,
@@ -23,9 +27,12 @@ from repro.client.client import (
     ServerError,
     TransportError,
     UnknownApplication,
+    encode_binary_input,
+    encode_input,
 )
 
 __all__ = [
+    "COLUMNAR_CONTENT_TYPE",
     "AdminClient",
     "ApiStatusError",
     "AsyncAdminClient",
@@ -43,4 +50,6 @@ __all__ = [
     "ServerError",
     "TransportError",
     "UnknownApplication",
+    "encode_binary_input",
+    "encode_input",
 ]

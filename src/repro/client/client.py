@@ -2,8 +2,10 @@
 
 The application side of the paper's Figure 2: an application never imports
 the serving library — it talks to Clipper over REST.  This module is that
-application's half of the contract, deliberately free of any import from the
-serving engine (:mod:`repro.core` and friends):
+application's half of the contract, free of any import from the serving
+*engine* (:mod:`repro.core` and friends); the one shared module is the wire
+codec (:mod:`repro.rpc.serialization`, numpy-only), because a binary wire
+format is precisely a contract both ends must share:
 
 * :class:`AsyncClipperClient` / :class:`ClipperClient` — the two application
   verbs, ``predict`` and ``update``, plus schema/health introspection.
@@ -18,6 +20,16 @@ application schema, and raise **typed exceptions mirroring the server's
 structured error model**: the ``code`` field of the wire error selects the
 exception class, so ``except UnknownApplication:`` works the same whether
 the check failed client-side or three machines away.
+
+A client constructed with ``binary=True`` negotiates the **columnar binary
+encoding** for ``predict``/``update``: the request body is the RPC layer's
+tagged binary frame (ndarray inputs travel as raw buffers, written
+writev-style, never JSON-encoded), ``Accept`` offers
+``application/x-clipper-columnar`` with a JSON fallback at ``q=0.5``, and
+the response is decoded by its ``Content-Type``.  Against a server without
+the columnar decoder the first such request answers 415, and the client
+transparently drops to JSON for the rest of its life — safe to re-issue,
+because a 415 is raised before the handler runs.
 """
 
 from __future__ import annotations
@@ -28,9 +40,17 @@ import json
 import random
 import socket
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.core.exceptions import SerializationError
+from repro.rpc.serialization import (
+    COLUMNAR_CONTENT_TYPE,
+    deserialize,
+    serialize_buffers,
+    serialized_nbytes,
+)
 
 API_PREFIX = "/api/v1"
 
@@ -109,6 +129,7 @@ _ERRORS_BY_CODE = {
     "method_not_allowed": MalformedRequest,
     "malformed_request": MalformedRequest,
     "unsupported_media_type": MalformedRequest,
+    "not_acceptable": MalformedRequest,
     "invalid_input": InvalidInput,
     "invalid_configuration": MalformedRequest,
     "deadline_missed": DeadlineMissed,
@@ -155,6 +176,23 @@ def encode_input(x: Any) -> Any:
             return [encode_input(item) for item in x]
         return list(x)
     return x
+
+
+def encode_binary_input(x: Any) -> Any:
+    """Render a query input for the columnar binary wire encoding.
+
+    Typed arrays and raw bytes travel natively — an ndarray becomes a
+    zero-copy buffer segment on the wire and lands server-side as a typed
+    array, skipping the JSON number round-trip entirely.  Everything else
+    uses its JSON wire value, which the binary frame carries unchanged.
+    """
+    if isinstance(x, np.ndarray):
+        # The serializer wants a contiguous buffer; a no-op for the
+        # already-contiguous arrays applications send.
+        return np.ascontiguousarray(x)
+    if isinstance(x, (bytes, bytearray, memoryview)):
+        return bytes(x)
+    return encode_input(x)
 
 
 @dataclass
@@ -298,9 +336,14 @@ class _HttpConnection:
                 pass
 
     async def request(
-        self, method: str, path: str, body: Any = None
+        self, method: str, path: str, body: Any = None, binary: bool = False
     ) -> Tuple[int, Any]:
-        """Issue one request, returning ``(status, decoded JSON payload)``."""
+        """Issue one request, returning ``(status, decoded payload)``.
+
+        ``binary=True`` sends the body as a columnar binary frame and
+        offers the columnar encoding in ``Accept``; the response is decoded
+        by its ``Content-Type`` either way.
+        """
         policy = self.retry_policy
         is_get = method.upper() == "GET"
         attempts = 0
@@ -313,7 +356,7 @@ class _HttpConnection:
                 failure, retriable = exc, True
             else:
                 try:
-                    return await self._round_trip(method, path, body)
+                    return await self._round_trip(method, path, body, binary)
                 except _StaleConnection as exc:
                     # The request went out but nothing of the response
                     # arrived.  Only an idempotent GET is re-issued; a POST
@@ -349,20 +392,44 @@ class _HttpConnection:
             if delay > 0:
                 await asyncio.sleep(delay)
 
-    async def _round_trip(self, method: str, path: str, body: Any) -> Tuple[int, Any]:
-        payload = b""
-        if body is not None:
-            payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+    async def _round_trip(
+        self, method: str, path: str, body: Any, binary: bool = False
+    ) -> Tuple[int, Any]:
+        if binary and body is not None:
+            # Encode before touching the connection: an unencodable body
+            # must fail cleanly, not poison the keep-alive stream.
+            try:
+                segments = serialize_buffers(body)
+            except SerializationError as exc:
+                raise ClipperClientError(
+                    f"request body is not encodable as columnar: {exc}"
+                ) from None
+            length = serialized_nbytes(segments)
+            content_type = COLUMNAR_CONTENT_TYPE
+            accept = f"{COLUMNAR_CONTENT_TYPE}, application/json;q=0.5"
+        else:
+            payload = b""
+            if body is not None:
+                payload = json.dumps(body, separators=(",", ":")).encode("utf-8")
+            segments = [payload] if payload else []
+            length = len(payload)
+            content_type = "application/json"
+            accept = "application/json"
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
-            "Accept: application/json\r\n"
-            "Content-Type: application/json\r\n"
-            f"Content-Length: {len(payload)}\r\n"
+            f"Accept: {accept}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {length}\r\n"
             "\r\n"
         ).encode("ascii")
         try:
-            self._writer.write(head + payload)
+            # The body is never joined with the head: binary segments (which
+            # include zero-copy views of the caller's arrays) go out
+            # writev-style.
+            self._writer.write(head)
+            if segments:
+                self._writer.writelines(segments)
             await self._writer.drain()
             status_line = await self._reader.readline()
         except (ConnectionResetError, BrokenPipeError, OSError) as exc:
@@ -389,8 +456,19 @@ class _HttpConnection:
         data = await self._reader.readexactly(length) if length else b""
         if "close" in headers.get("connection", "").lower():
             await self._reset()
-        decoded = json.loads(data.decode("utf-8")) if data else None
-        return status, decoded
+        if not data:
+            return status, None
+        # The response's own Content-Type picks the decoder — errors render
+        # as JSON even on a binary exchange.
+        response_type = headers.get("content-type", "").split(";")[0].strip().lower()
+        if response_type == COLUMNAR_CONTENT_TYPE:
+            try:
+                return status, deserialize(data)
+            except SerializationError as exc:
+                raise TransportError(
+                    f"{method} {path}: undecodable columnar response: {exc}"
+                ) from None
+        return status, json.loads(data.decode("utf-8"))
 
 
 class _BaseAsyncClient:
@@ -401,12 +479,23 @@ class _BaseAsyncClient:
         host: str = "127.0.0.1",
         port: int = 8080,
         retry_policy: Optional[RetryPolicy] = None,
+        binary: bool = False,
     ) -> None:
         self._conn = _HttpConnection(host, port, retry_policy=retry_policy)
+        self._binary = bool(binary)
 
     @property
     def retry_policy(self) -> RetryPolicy:
         return self._conn.retry_policy
+
+    @property
+    def binary(self) -> bool:
+        """Whether the client currently speaks the columnar binary encoding.
+
+        Starts as the constructor's ``binary`` flag and drops to False
+        permanently after a 415 from a server without the columnar decoder.
+        """
+        return self._binary
 
     async def connect(self) -> None:
         """Eagerly open the connection (otherwise opened on first request)."""
@@ -428,9 +517,37 @@ class _BaseAsyncClient:
             raise error_from_response(status, payload)
         return payload
 
+    async def _call_negotiated(
+        self, method: str, path: str, build_body: Callable[[bool], Any]
+    ) -> Any:
+        """Issue a verb under the client's negotiated encoding.
+
+        ``build_body(binary)`` renders the request body for the chosen
+        encoding.  In binary mode, a 415 means the server has no columnar
+        decoder: the client drops to JSON for the rest of its life and
+        transparently re-issues this request — safe, because a 415 is
+        raised before the handler runs.
+        """
+        if self._binary:
+            status, payload = await self._conn.request(
+                method, path, build_body(True), binary=True
+            )
+            if status != 415:
+                if status >= 400:
+                    raise error_from_response(status, payload)
+                return payload
+            self._binary = False
+        return await self._call(method, path, build_body(False))
+
 
 class AsyncClipperClient(_BaseAsyncClient):
-    """The application's view of Clipper: ``predict`` and ``update`` over REST."""
+    """The application's view of Clipper: ``predict`` and ``update`` over REST.
+
+    Constructed with ``binary=True``, the two application verbs negotiate
+    the columnar binary encoding (ndarray inputs travel as raw typed
+    buffers) with transparent JSON fallback on 415; introspection verbs
+    always speak JSON.
+    """
 
     async def predict(
         self,
@@ -440,13 +557,19 @@ class AsyncClipperClient(_BaseAsyncClient):
         latency_slo_ms: Optional[float] = None,
     ) -> PredictionResult:
         """Request a prediction from the named application."""
-        body: Dict[str, Any] = {"input": encode_input(x)}
-        if user_id is not None:
-            body["user_id"] = user_id
-        if latency_slo_ms is not None:
-            body["latency_slo_ms"] = latency_slo_ms
-        payload = await self._call(
-            "POST", f"{API_PREFIX}/{app_name}/predict", body
+
+        def build_body(binary: bool) -> Dict[str, Any]:
+            body: Dict[str, Any] = {
+                "input": encode_binary_input(x) if binary else encode_input(x)
+            }
+            if user_id is not None:
+                body["user_id"] = user_id
+            if latency_slo_ms is not None:
+                body["latency_slo_ms"] = latency_slo_ms
+            return body
+
+        payload = await self._call_negotiated(
+            "POST", f"{API_PREFIX}/{app_name}/predict", build_body
         )
         return PredictionResult.from_payload(payload)
 
@@ -458,10 +581,17 @@ class AsyncClipperClient(_BaseAsyncClient):
         user_id: Optional[str] = None,
     ) -> None:
         """Send ground-truth feedback for an earlier prediction."""
-        body: Dict[str, Any] = {"input": encode_input(x), "label": encode_input(label)}
-        if user_id is not None:
-            body["user_id"] = user_id
-        await self._call("POST", f"{API_PREFIX}/{app_name}/update", body)
+
+        def build_body(binary: bool) -> Dict[str, Any]:
+            encode = encode_binary_input if binary else encode_input
+            body: Dict[str, Any] = {"input": encode(x), "label": encode(label)}
+            if user_id is not None:
+                body["user_id"] = user_id
+            return body
+
+        await self._call_negotiated(
+            "POST", f"{API_PREFIX}/{app_name}/update", build_body
+        )
 
     async def applications(self) -> List[Dict[str, Any]]:
         """The schemas of every application the server hosts."""
@@ -599,9 +729,12 @@ class _SyncWrapper:
         host: str = "127.0.0.1",
         port: int = 8080,
         retry_policy: Optional[RetryPolicy] = None,
+        binary: bool = False,
     ) -> None:
         self._loop = asyncio.new_event_loop()
-        self._client = self._async_cls(host, port, retry_policy=retry_policy)
+        self._client = self._async_cls(
+            host, port, retry_policy=retry_policy, binary=binary
+        )
 
     def _run(self, coroutine):
         return self._loop.run_until_complete(coroutine)

@@ -10,6 +10,7 @@ replicas of one model.
 
 from __future__ import annotations
 
+import asyncio
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.containers.base import ModelContainer
@@ -18,7 +19,11 @@ from repro.core.types import ModelId
 from repro.rpc.client import RpcClient
 from repro.rpc.protocol import RpcResponse
 from repro.rpc.server import ContainerRpcServer
-from repro.rpc.transport import InProcessTransport
+from repro.rpc.shm import HAS_SHARED_MEMORY, ShmRingPair
+from repro.rpc.transport import InProcessTransport, TcpListener, TcpTransport
+
+#: RPC lanes a replica can run on (see :class:`repro.core.config.ModelDeployment`).
+TRANSPORT_KINDS = ("inprocess", "shm", "tcp")
 
 
 class ContainerReplica:
@@ -38,7 +43,12 @@ class ContainerReplica:
         paper's per-container worker threads).
     serialize_messages:
         Whether the in-process RPC round-trips through the binary serializer
-        (True charges realistic serialization overhead).
+        (True charges realistic serialization overhead).  Ignored by the shm
+        and tcp lanes, which always serialize.
+    transport:
+        RPC lane for this replica: ``"inprocess"`` (asyncio queues, the
+        default), ``"shm"`` (same-host shared-memory rings) or ``"tcp"``
+        (loopback sockets, connected lazily in :meth:`start`).
     """
 
     def __init__(
@@ -49,23 +59,66 @@ class ContainerReplica:
         use_executor: bool = True,
         serialize_messages: bool = True,
         rpc_timeout_s: Optional[float] = 30.0,
+        transport: str = "inprocess",
     ) -> None:
+        if transport not in TRANSPORT_KINDS:
+            raise ContainerError(
+                str(model_id),
+                f"unknown transport '{transport}', expected one of {TRANSPORT_KINDS}",
+            )
         self.model_id = model_id
         self.replica_id = replica_id
         self.container = container
         # The wire model name is rendered once: replicas send it with every
         # batch and str(ModelId) is measurable at high batch rates.
         self._model_key = str(model_id)
-        self._transport = InProcessTransport(serialize_messages=serialize_messages)
-        self._server = ContainerRpcServer(
-            container, self._transport.server_side, use_executor=use_executor
-        )
-        self.client = RpcClient(self._transport.client_side, timeout_s=rpc_timeout_s)
+        self._transport_kind = transport
+        self._use_executor = use_executor
+        self._rpc_timeout_s = rpc_timeout_s
+        self._server: Optional[ContainerRpcServer] = None
+        self.client: Optional[RpcClient] = None
+        if transport == "inprocess":
+            pair = InProcessTransport(serialize_messages=serialize_messages)
+        elif transport == "shm":
+            if not HAS_SHARED_MEMORY:
+                raise ContainerError(
+                    self._model_key,
+                    "transport 'shm' requires multiprocessing.shared_memory, "
+                    "which is unavailable on this platform",
+                )
+            pair = ShmRingPair()
+        else:
+            # The tcp lane needs a running event loop to bind and connect;
+            # the endpoints are built in start().
+            pair = None
+        if pair is not None:
+            self._server = ContainerRpcServer(
+                container, pair.server_side, use_executor=use_executor
+            )
+            self.client = RpcClient(pair.client_side, timeout_s=rpc_timeout_s)
         self._started = False
+
+    async def _connect_tcp(self) -> None:
+        """Bind a loopback listener, cross-connect, and build server+client."""
+        listener = TcpListener()
+        await listener.start()
+        try:
+            client_transport, server_transport = await asyncio.gather(
+                TcpTransport.connect(listener.host, listener.port),
+                listener.accept(),
+            )
+        finally:
+            await listener.close()
+        self._server = ContainerRpcServer(
+            self.container, server_transport, use_executor=self._use_executor
+        )
+        self.client = RpcClient(client_transport, timeout_s=self._rpc_timeout_s)
 
     async def start(self) -> None:
         """Start the container-side RPC serving loop."""
         if not self._started:
+            if self._server is None:
+                await self._connect_tcp()
             self._server.start()
             self._started = True
 
@@ -138,6 +191,7 @@ class ReplicaSet:
         num_replicas: int = 1,
         use_executor: bool = True,
         serialize_messages: bool = True,
+        transport: str = "inprocess",
     ) -> None:
         if num_replicas < 1:
             raise ContainerError(str(model_id), "num_replicas must be >= 1")
@@ -145,6 +199,7 @@ class ReplicaSet:
         self._container_factory = container_factory
         self._use_executor = use_executor
         self._serialize_messages = serialize_messages
+        self._transport = transport
         self._next_replica_id = 0
         self.replicas: List[ContainerReplica] = []
         for _ in range(num_replicas):
@@ -164,6 +219,7 @@ class ReplicaSet:
             container=container,
             use_executor=self._use_executor,
             serialize_messages=self._serialize_messages,
+            transport=self._transport,
         )
 
     def add_replica(self) -> ContainerReplica:

@@ -241,6 +241,7 @@ class Clipper:
             container_factory=deployment.container_factory,
             num_replicas=deployment.num_replicas,
             serialize_messages=deployment.serialize_rpc,
+            transport=deployment.transport,
         )
         queue = BatchingQueue(name=key)
         record = _DeployedModel(deployment, replica_set, queue, [])

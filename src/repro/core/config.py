@@ -114,6 +114,12 @@ class ModelDeployment:
         from, when it came through the factory registry.  Recorded in the
         registry's deploy spec so a cold-start restore can rebuild the
         deployment; ``None`` for ad-hoc in-process factories.
+    transport:
+        Which RPC lane connects Clipper to this model's replicas:
+        ``"inprocess"`` (default: asyncio queues, serialization controlled by
+        ``serialize_rpc``), ``"shm"`` (same-host shared-memory rings, see
+        :mod:`repro.rpc.shm`) or ``"tcp"`` (loopback sockets).  The shm and
+        tcp lanes always serialize — they model a real container boundary.
     """
 
     name: str
@@ -124,6 +130,7 @@ class ModelDeployment:
     serialize_rpc: bool = True
     max_batch_retries: int = 3
     factory_name: Optional[str] = None
+    transport: str = "inprocess"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -132,6 +139,12 @@ class ModelDeployment:
             raise ConfigurationError("num_replicas must be >= 1")
         if self.max_batch_retries < 0:
             raise ConfigurationError("max_batch_retries must be non-negative")
+        valid_transports = {"inprocess", "shm", "tcp"}
+        if self.transport not in valid_transports:
+            raise ConfigurationError(
+                f"unknown transport '{self.transport}', "
+                f"expected one of {sorted(valid_transports)}"
+            )
 
 
 @dataclass

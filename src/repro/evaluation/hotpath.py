@@ -19,6 +19,13 @@ scenarios isolate the framework cost per query:
     ``float32`` vectors) and the RPC round-tripping through the binary
     serializer, so the columnar batch encoding and zero-copy decoding of
     :mod:`repro.rpc.serialization` are on the measured path.
+``cache_miss_shm`` / ``cache_miss_tcp``
+    The ``cache_miss_wide`` workload with the replica behind a real
+    transport instead of the in-process queue pair: a shared-memory ring
+    (:class:`~repro.rpc.shm.ShmRingTransport`) or a loopback TCP socket.
+    The pair prices the transport itself — same serializer, same batches,
+    only the byte-moving mechanism differs — and is the evidence that the
+    ring beats the socket.
 ``ensemble``
     Four models behind the Exp4 ensemble policy, one repeated input.  Every
     query fans out to all models; after warm-up each fan-out is a cache
@@ -37,6 +44,13 @@ scenarios isolate the framework cost per query:
     delta against ``cache_hit`` is the price of the HTTP framing, JSON
     codec and schema validation per request — the REST-edge overhead this
     PR's API layer adds to an in-process ``predict``.
+``http_predict_binary``
+    The same REST edge driven with the binary columnar content type: the
+    client negotiates ``application/x-clipper-columnar`` and ships a
+    256-float ``float32`` vector as raw little-endian bytes instead of a
+    JSON array.  Compared against ``http_predict`` it isolates the JSON
+    codec's share of the REST gap — the payload that motivated the binary
+    wire format.
 
 Each scenario returns a :class:`HotpathResult` with QPS and the latency
 distribution, consumed by ``benchmarks/bench_hotpath.py`` (pytest) and
@@ -46,6 +60,7 @@ distribution, consumed by ``benchmarks/bench_hotpath.py`` (pytest) and
 from __future__ import annotations
 
 import asyncio
+import gc
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List
@@ -95,17 +110,22 @@ class HotpathResult:
         )
 
 
-def _noop_deployment(name: str, serialize_rpc: bool = False) -> ModelDeployment:
+def _noop_deployment(
+    name: str, serialize_rpc: bool = False, transport: str = "inprocess"
+) -> ModelDeployment:
     return ModelDeployment(
         name=name,
         container_factory=lambda: NoOpContainer(output=1),
         batching=BatchingConfig(policy="aimd", initial_batch_size=4),
         serialize_rpc=serialize_rpc,
+        transport=transport,
     )
 
 
 def _single_model_clipper(
-    serialize_rpc: bool = False, tracing: "TracingConfig | None" = None
+    serialize_rpc: bool = False,
+    tracing: "TracingConfig | None" = None,
+    transport: str = "inprocess",
 ) -> Clipper:
     config = ClipperConfig(
         app_name="hotpath",
@@ -115,7 +135,9 @@ def _single_model_clipper(
     if tracing is not None:
         config.tracing = tracing
     clipper = Clipper(config)
-    clipper.deploy_model(_noop_deployment("noop", serialize_rpc=serialize_rpc))
+    clipper.deploy_model(
+        _noop_deployment("noop", serialize_rpc=serialize_rpc, transport=transport)
+    )
     return clipper
 
 
@@ -196,6 +218,38 @@ async def run_cache_miss(num_queries: int = 2000, concurrency: int = 32) -> Hotp
     return _result("cache_miss", elapsed, latencies)
 
 
+async def _run_cache_miss_serialized(
+    scenario: str, transport: str, num_queries: int, concurrency: int
+) -> HotpathResult:
+    """Shared driver for the wide serialized cache-miss scenarios."""
+    clipper = _single_model_clipper(serialize_rpc=True, transport=transport)
+    await clipper.start()
+    try:
+        rng = np.random.default_rng(3)
+        inputs = rng.standard_normal((num_queries, WIDE_FEATURES)).astype(np.float32)
+        # Untimed warm-up (distinct inputs, so every one still misses the
+        # cache): first-use costs — page-faulting fresh ring/socket buffers,
+        # the shared-memory resource tracker, allocator steady state — land
+        # here instead of in the tail of the measured run.  1024 queries at
+        # ~1 KiB per direction wrap a full default-capacity shm ring, so the
+        # timed window never touches a cold page.
+        warm = rng.standard_normal((1024, WIDE_FEATURES)).astype(np.float32)
+        await _drive(
+            clipper,
+            [Query(app_name="hotpath", input=warm[i]) for i in range(len(warm))],
+            concurrency=concurrency,
+        )
+        queries = [Query(app_name="hotpath", input=inputs[i]) for i in range(num_queries)]
+        # Start the timed window on a clean heap: setup allocates enough to
+        # schedule a gen-2 collection that would otherwise fire mid-run and
+        # smear multi-ms GC pauses across the tail percentiles.
+        gc.collect()
+        elapsed, latencies = await _drive(clipper, queries, concurrency=concurrency)
+    finally:
+        await clipper.stop()
+    return _result(scenario, elapsed, latencies)
+
+
 async def run_cache_miss_wide(
     num_queries: int = 2000, concurrency: int = 32
 ) -> HotpathResult:
@@ -206,16 +260,38 @@ async def run_cache_miss_wide(
     columnar batch encoding, writev-style framing and zero-copy decoding —
     the costs ``cache_miss`` deliberately excludes.
     """
-    clipper = _single_model_clipper(serialize_rpc=True)
-    await clipper.start()
-    try:
-        rng = np.random.default_rng(3)
-        inputs = rng.standard_normal((num_queries, WIDE_FEATURES)).astype(np.float32)
-        queries = [Query(app_name="hotpath", input=inputs[i]) for i in range(num_queries)]
-        elapsed, latencies = await _drive(clipper, queries, concurrency=concurrency)
-    finally:
-        await clipper.stop()
-    return _result("cache_miss_wide", elapsed, latencies)
+    return await _run_cache_miss_serialized(
+        "cache_miss_wide", "inprocess", num_queries, concurrency
+    )
+
+
+async def run_cache_miss_shm(
+    num_queries: int = 2000, concurrency: int = 32
+) -> HotpathResult:
+    """The wide serialized cache-miss workload over the shared-memory ring.
+
+    Identical to ``cache_miss_wide`` except that every batch crosses a
+    :class:`~repro.rpc.shm.ShmRingTransport` — frames are copied through a
+    shared-memory ring with socketpair doorbells instead of an in-process
+    queue.  Compare against ``cache_miss_tcp`` (same workload, loopback
+    socket) to price the transports against each other.
+    """
+    return await _run_cache_miss_serialized(
+        "cache_miss_shm", "shm", num_queries, concurrency
+    )
+
+
+async def run_cache_miss_tcp(
+    num_queries: int = 2000, concurrency: int = 32
+) -> HotpathResult:
+    """The wide serialized cache-miss workload over a loopback TCP socket.
+
+    The baseline ``cache_miss_shm`` must beat: same serializer, same
+    batches, but every frame crosses the kernel socket stack.
+    """
+    return await _run_cache_miss_serialized(
+        "cache_miss_tcp", "tcp", num_queries, concurrency
+    )
 
 
 async def run_http_predict(
@@ -278,6 +354,73 @@ async def run_http_predict(
     finally:
         await server.stop()
     return _result("http_predict", elapsed, latencies)
+
+
+async def run_http_predict_binary(
+    num_queries: int = 2000, concurrency: int = 8
+) -> HotpathResult:
+    """The REST cache-hit workload over the binary columnar content type.
+
+    Same edge as ``run_http_predict`` — keep-alive connections, declared
+    schema, full validation — but the application takes 256-float
+    ``float32`` vectors and the clients negotiate
+    ``application/x-clipper-columnar``, so each request body is the raw
+    little-endian buffer instead of a JSON array and each response is
+    decoded without ``json.loads``.  The ratio against ``http_predict``
+    is the acceptance number for the binary wire format.
+    """
+    from repro.api.http import create_server
+    from repro.client import AsyncClipperClient
+    from repro.core.frontend import QueryFrontend
+
+    clipper = Clipper(
+        ClipperConfig(
+            app_name="hotpath",
+            latency_slo_ms=BENCH_SLO_MS,
+            selection_policy="single",
+            input_type="floats",
+            input_shape=(WIDE_FEATURES,),
+        )
+    )
+    clipper.deploy_model(_noop_deployment("noop"))
+    frontend = QueryFrontend()
+    frontend.register_application(clipper)
+    server = create_server(query=frontend)
+    await server.start()
+    latencies: List[float] = []
+    try:
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(WIDE_FEATURES).astype(np.float32)
+        clients = [
+            AsyncClipperClient("127.0.0.1", server.port, binary=True)
+            for _ in range(concurrency)
+        ]
+        try:
+            for client in clients:
+                await client.predict("hotpath", x)
+
+            per_client = max(1, num_queries // concurrency)
+
+            async def drive(client: AsyncClipperClient) -> None:
+                for _ in range(per_client):
+                    t0 = time.perf_counter()
+                    await client.predict("hotpath", x)
+                    latencies.append((time.perf_counter() - t0) * 1000.0)
+
+            start = time.perf_counter()
+            await asyncio.gather(*(drive(client) for client in clients))
+            elapsed = time.perf_counter() - start
+            if any(not client.binary for client in clients):
+                raise RuntimeError(
+                    "http_predict_binary fell back to JSON — the server "
+                    "rejected the columnar content type"
+                )
+        finally:
+            for client in clients:
+                await client.close()
+    finally:
+        await server.stop()
+    return _result("http_predict_binary", elapsed, latencies)
 
 
 async def run_ensemble(num_queries: int = 3000, width: int = 4) -> HotpathResult:
@@ -343,6 +486,8 @@ async def run_telemetry_overhead(
 
 def run_all(quick: bool = False) -> List[HotpathResult]:
     """Run every scenario (scaled down in ``quick`` mode) and return results."""
+    from repro.rpc.shm import HAS_SHARED_MEMORY
+
     scale = 10 if quick else 1
 
     async def _run() -> List[HotpathResult]:
@@ -350,9 +495,17 @@ def run_all(quick: bool = False) -> List[HotpathResult]:
             await run_cache_hit(num_queries=5000 // scale),
             await run_cache_miss(num_queries=2000 // scale),
             await run_cache_miss_wide(num_queries=2000 // scale),
-            await run_ensemble(num_queries=3000 // scale),
-            await run_http_predict(num_queries=2000 // scale),
+            await run_cache_miss_tcp(num_queries=2000 // scale),
         ]
+        if HAS_SHARED_MEMORY:
+            results.append(await run_cache_miss_shm(num_queries=2000 // scale))
+        results.extend(
+            [
+                await run_ensemble(num_queries=3000 // scale),
+                await run_http_predict(num_queries=2000 // scale),
+                await run_http_predict_binary(num_queries=2000 // scale),
+            ]
+        )
         results.extend(await run_telemetry_overhead(num_queries=4000 // scale))
         return results
 

@@ -44,6 +44,7 @@ def deploy_spec(deployment: ModelDeployment) -> Dict[str, Any]:
         "factory": deployment.factory_name,
         "serialize_rpc": deployment.serialize_rpc,
         "max_batch_retries": deployment.max_batch_retries,
+        "transport": deployment.transport,
         "batching": {
             name: getattr(deployment.batching, name) for name in _BATCHING_FIELDS
         },
@@ -86,6 +87,7 @@ def deployment_from_record(
         serialize_rpc=bool(spec.get("serialize_rpc", True)),
         max_batch_retries=int(spec.get("max_batch_retries", 3)),
         factory_name=spec.get("factory"),
+        transport=str(spec.get("transport", "inprocess")),
     )
 
 

@@ -3,10 +3,11 @@
 The paper's model containers communicate with Clipper over a minimal
 cross-language RPC protocol: length-prefixed framed messages carrying a
 batch of serialized inputs, answered with a batch of serialized outputs.
-This package implements the same narrow waist with two interchangeable
+This package implements the same narrow waist with three interchangeable
 transports: an in-process transport (used by default, zero-copy over asyncio
-queues) and a real TCP transport (length-prefixed frames over asyncio
-streams) for tests and examples that want genuine socket behaviour.
+queues), a real TCP transport (length-prefixed frames over asyncio streams)
+and a same-host shared-memory ring transport (:mod:`repro.rpc.shm`) whose
+doorbell-signalled SPSC rings skip the kernel network stack entirely.
 """
 
 from repro.rpc.serialization import deserialize, serialize, serialize_buffers
@@ -19,6 +20,7 @@ from repro.rpc.protocol import (
     encode_message_buffers,
 )
 from repro.rpc.transport import InProcessTransport, TcpTransport, Transport
+from repro.rpc.shm import HAS_SHARED_MEMORY, ShmRingPair, ShmRingTransport
 from repro.rpc.client import RpcClient
 from repro.rpc.server import ContainerRpcServer
 
@@ -35,6 +37,9 @@ __all__ = [
     "Transport",
     "InProcessTransport",
     "TcpTransport",
+    "HAS_SHARED_MEMORY",
+    "ShmRingPair",
+    "ShmRingTransport",
     "RpcClient",
     "ContainerRpcServer",
 ]

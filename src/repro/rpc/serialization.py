@@ -54,6 +54,12 @@ import numpy as np
 
 from repro.core.exceptions import SerializationError
 
+#: Media type under which this format travels over HTTP (the REST edge's
+#: binary lane and the client SDK negotiate it via ``Content-Type``/
+#: ``Accept``).  Defined here — next to the format itself — so the client
+#: SDK can name the format without importing the serving engine's API layer.
+COLUMNAR_CONTENT_TYPE = "application/x-clipper-columnar"
+
 # One-byte type tags.
 _TAG_NONE = 0
 _TAG_INT = 1

@@ -1,0 +1,450 @@
+"""Shared-memory ring transport for same-host container replicas.
+
+The fastest path between Clipper and a co-located container is the one that
+never crosses the kernel's network stack: a pair of single-producer /
+single-consumer byte rings living in one ``multiprocessing.shared_memory``
+block, with socketpair doorbells for wakeups.  :class:`ShmRingPair` builds
+two connected :class:`Transport` endpoints, drop-in behind the same seam as
+:class:`~repro.rpc.transport.InProcessTransport` and
+:class:`~repro.rpc.transport.TcpTransport`, so the pipelined
+:class:`~repro.rpc.client.RpcClient`, heartbeats and trace-id propagation
+all work unchanged.
+
+Design
+------
+* **One shm block, two rings.**  Each direction is an SPSC ring: a small
+  control header (monotonic ``head``/``tail`` byte counters plus a closed
+  flag) followed by a circular data region.  Frames are a 4-byte length
+  prefix plus the serializer's bytes, written at byte granularity with
+  wraparound — a frame larger than the ring streams through in chunks as
+  the consumer drains, so capacity bounds memory, not message size.
+* **Segments in, never re-serialized.**  ``send`` feeds the writev-style
+  segment list from :func:`~repro.rpc.serialization.serialize_buffers`
+  straight into the ring — the frame is never joined into one ``bytes``
+  and large ndarray payloads are copied exactly once (source buffer →
+  ring).  ``recv`` copies the frame out of the ring (the slot is recycled,
+  so decoded zero-copy views must not alias it) and hands the copy to the
+  zero-copy decoder.
+* **Doorbells, rung only on edges.**  Each ring gets one non-blocking
+  ``socket.socketpair``: the producer rings it after publishing into an
+  empty ring (a consumer might be parked) and the consumer rings it after
+  draining a full ring (the producer might be parked).  In steady state —
+  a pipelined dispatcher keeping the ring busy — neither side pays a
+  doorbell syscall per frame.  ``os.eventfd`` would serve the same role on
+  Linux; socketpairs keep the lane portable.
+* **SPSC + same-memory-model assumption.**  One sender task and one
+  receiver task per ring (exactly what ``RpcClient``'s send lock and
+  single receive pump guarantee).  Counters are plain 8-byte stores; the
+  in-process pair runs on one event loop (no parallelism), and the
+  cross-process story assumes a total-store-order host (x86) with
+  fork-inherited doorbell fds.
+
+Availability is platform-dependent: ``HAS_SHARED_MEMORY`` is False where
+``multiprocessing.shared_memory`` is unavailable, and constructing a pair
+there raises :class:`~repro.core.exceptions.RpcError`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import struct
+from typing import Optional, Tuple
+
+from repro.core.exceptions import RpcError
+from repro.rpc.protocol import MAX_FRAME_BYTES
+from repro.rpc.serialization import deserialize, serialize_buffers, serialized_nbytes
+from repro.rpc.transport import Transport
+
+try:  # pragma: no cover - import guard exercised only on exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+
+    HAS_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+    HAS_SHARED_MEMORY = False
+
+#: Default per-direction ring capacity (bytes of frame data in flight).
+DEFAULT_RING_CAPACITY = 1 << 20
+
+#: Per-ring control header: head u64, tail u64, closed u8, padding.
+_CONTROL_BYTES = 32
+
+_HEAD_OFFSET = 0
+_TAIL_OFFSET = 8
+_CLOSED_OFFSET = 16
+
+
+class _Ring:
+    """One SPSC byte ring mapped over a slice of the shared-memory block.
+
+    ``head``/``tail`` are monotonically increasing byte counters (they never
+    wrap; positions are ``counter % capacity``), so ``head - tail`` is always
+    the number of unread bytes and full/empty are unambiguous.
+    """
+
+    __slots__ = ("_control", "_data", "capacity")
+
+    def __init__(self, control: memoryview, data: memoryview) -> None:
+        self._control = control
+        self._data = data
+        self.capacity = len(data)
+
+    @property
+    def head(self) -> int:
+        return struct.unpack_from("<Q", self._control, _HEAD_OFFSET)[0]
+
+    @head.setter
+    def head(self, value: int) -> None:
+        struct.pack_into("<Q", self._control, _HEAD_OFFSET, value)
+
+    @property
+    def tail(self) -> int:
+        return struct.unpack_from("<Q", self._control, _TAIL_OFFSET)[0]
+
+    @tail.setter
+    def tail(self, value: int) -> None:
+        struct.pack_into("<Q", self._control, _TAIL_OFFSET, value)
+
+    @property
+    def closed(self) -> bool:
+        return self._control[_CLOSED_OFFSET] != 0
+
+    def mark_closed(self) -> None:
+        self._control[_CLOSED_OFFSET] = 1
+
+    def write_at(self, position: int, chunk: memoryview) -> None:
+        """Copy ``chunk`` into the ring starting at absolute ``position``."""
+        start = position % self.capacity
+        first = min(len(chunk), self.capacity - start)
+        self._data[start : start + first] = chunk[:first]
+        if first < len(chunk):
+            self._data[0 : len(chunk) - first] = chunk[first:]
+
+    def read_at(self, position: int, out: memoryview) -> None:
+        """Copy ``len(out)`` ring bytes starting at absolute ``position``."""
+        start = position % self.capacity
+        first = min(len(out), self.capacity - start)
+        out[:first] = self._data[start : start + first]
+        if first < len(out):
+            out[first:] = self._data[0 : len(out) - first]
+
+    def release(self) -> None:
+        self._control.release()
+        self._data.release()
+
+
+def _ring_bell(bell: socket.socket) -> None:
+    """Wake the peer parked on the other end; never blocks, never raises."""
+    try:
+        bell.send(b"\x01")
+    except (BlockingIOError, InterruptedError):
+        pass  # buffer full: the peer already has wakeup bytes pending
+    except OSError:
+        pass  # peer hung up; its closed flag is what matters now
+
+
+class _BellWaiter:
+    """Parks a task on a doorbell socket without per-wait epoll churn.
+
+    ``loop.sock_recv`` registers and unregisters the fd with the selector on
+    *every* call — two ``epoll_ctl`` syscalls per park, which dominates the
+    transport cost under a pipelined dispatcher.  Instead the fd is added to
+    the selector once, permanently; the readiness callback drains the bell
+    and latches a signal.  ``wait`` consumes the latch if a ring arrived
+    while nobody was parked (preserving the persistent-bell-byte semantics
+    the edge-trigger protocol relies on) and otherwise parks on a future the
+    callback resolves.
+    """
+
+    __slots__ = ("_sock", "_loop", "_future", "_signaled", "_registered")
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._future: Optional[asyncio.Future] = None
+        self._signaled = False
+        self._registered = False
+
+    async def wait(self) -> None:
+        if self._signaled:
+            self._signaled = False
+            return
+        loop = asyncio.get_running_loop()
+        if not self._registered:
+            loop.add_reader(self._sock.fileno(), self._on_readable)
+            self._registered = True
+            self._loop = loop
+        self._future = loop.create_future()
+        try:
+            await self._future
+        finally:
+            self._future = None
+
+    def _on_readable(self) -> None:
+        at_eof = False
+        try:
+            at_eof = not self._sock.recv(65536)
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            at_eof = True
+        if at_eof:
+            # Peer hung up: the fd stays readable forever, so stop watching
+            # it (the close flags in shared memory carry the shutdown now).
+            self._unregister()
+        future = self._future
+        if future is not None:
+            if not future.done():
+                future.set_result(None)
+        else:
+            self._signaled = True
+
+    def _unregister(self) -> None:
+        if self._registered and self._loop is not None:
+            try:
+                self._loop.remove_reader(self._sock.fileno())
+            except (OSError, ValueError):  # pragma: no cover - loop closing
+                pass
+        self._registered = False
+
+    def close(self) -> None:
+        """Stop watching and wake any parked task (it re-checks the flags)."""
+        self._unregister()
+        future = self._future
+        if future is not None and not future.done():
+            future.set_result(None)
+
+
+class ShmRingTransport(Transport):
+    """One endpoint of a shared-memory ring pair (see module docstring)."""
+
+    def __init__(
+        self,
+        out_ring: _Ring,
+        in_ring: _Ring,
+        bell_out: socket.socket,
+        bell_in: socket.socket,
+        release_cb,
+    ) -> None:
+        self._out = out_ring
+        self._in = in_ring
+        # ``bell_out``: send data bells / await space bells for the out ring.
+        # ``bell_in``: await data bells / send space bells for the in ring.
+        self._bell_out = bell_out
+        self._bell_in = bell_in
+        self._space_waiter = _BellWaiter(bell_out)
+        self._data_waiter = _BellWaiter(bell_in)
+        self._release_cb = release_cb
+        self._closed = False
+
+    # -- Transport interface ---------------------------------------------------
+
+    async def send(self, payload: dict) -> None:
+        if self._closed or self._out.closed:
+            raise RpcError("transport is closed")
+        body = serialize_buffers(payload)
+        length = serialized_nbytes(body)
+        if length > MAX_FRAME_BYTES:
+            raise RpcError(f"frame of {length} bytes exceeds maximum")
+        # The frame (length prefix + serializer segments) streams into the
+        # ring segment by segment — it is never joined into one bytes object.
+        views = [memoryview(struct.pack("<I", length))]
+        for segment in body:
+            view = memoryview(segment)
+            views.append(view if view.format == "B" else view.cast("B"))
+        await self._write_frame(views, 4 + length)
+
+    async def recv(self) -> dict:
+        if self._closed:
+            raise RpcError("transport is closed")
+        header = bytearray(4)
+        await self._read_exact(memoryview(header))
+        (length,) = struct.unpack("<I", header)
+        if length > MAX_FRAME_BYTES:
+            raise RpcError(f"frame length {length} exceeds maximum")
+        # The frame is copied out of the ring before decoding: the decoder's
+        # zero-copy ndarray views alias this private buffer, not ring memory
+        # that the producer will recycle.
+        frame = bytearray(length)
+        await self._read_exact(memoryview(frame))
+        return deserialize(frame)
+
+    async def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        # Both directions die, like a closed socket: mark both rings and wake
+        # the peer whichever ring it is parked on.
+        self._out.mark_closed()
+        self._in.mark_closed()
+        _ring_bell(self._bell_out)
+        _ring_bell(self._bell_in)
+        # Wake our own parked waiters (they re-check the closed flags) and
+        # drop the fds from the selector before closing the sockets.
+        self._space_waiter.close()
+        self._data_waiter.close()
+        self._bell_out.close()
+        self._bell_in.close()
+        self._out.release()
+        self._in.release()
+        self._release_cb()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- ring plumbing ---------------------------------------------------------
+
+    async def _write_frame(self, views, total: int) -> None:
+        """Stream a frame's segment list into the out ring.
+
+        The common case — the whole frame fits in free space — costs one
+        head/tail read, one copy per segment and one head publish.  A frame
+        larger than the free space streams through in passes as the consumer
+        drains, so ring capacity bounds memory, not message size.
+        """
+        ring = self._out
+        index = 0
+        seg_offset = 0
+        written = 0
+        while written < total:
+            if self._closed or ring.closed:
+                raise RpcError("transport is closed")
+            head = ring.head
+            tail = ring.tail
+            free = ring.capacity - (head - tail)
+            if free == 0:
+                # Ring full: the consumer rings the space bell when it
+                # drains a full ring, so parking here cannot be missed.
+                await self._space_waiter.wait()
+                continue
+            was_empty = head == tail
+            budget = min(free, total - written)
+            while budget > 0:
+                view = views[index]
+                take = len(view) - seg_offset
+                if take > budget:
+                    take = budget
+                    ring.write_at(head, view[seg_offset : seg_offset + take])
+                    seg_offset += take
+                else:
+                    chunk = view[seg_offset:] if seg_offset else view
+                    ring.write_at(head, chunk)
+                    index += 1
+                    seg_offset = 0
+                head += take
+                budget -= take
+                written += take
+            ring.head = head
+            if was_empty:
+                # Edge-triggered data bell: a consumer only parks after
+                # observing an empty ring, and the state it observed is the
+                # pre-publish one we just checked.
+                _ring_bell(self._bell_out)
+
+    async def _read_exact(self, out: memoryview) -> None:
+        ring = self._in
+        offset = 0
+        total = len(out)
+        while offset < total:
+            head = ring.head
+            tail = ring.tail
+            available = head - tail
+            if available == 0:
+                if self._closed:
+                    raise RpcError("transport is closed")
+                if ring.closed:
+                    raise RpcError("transport closed by peer")
+                await self._data_waiter.wait()
+                continue
+            take = min(available, total - offset)
+            ring.read_at(tail, out[offset : offset + take])
+            was_full = available == ring.capacity
+            ring.tail = tail + take
+            if was_full:
+                # Edge-triggered space bell: the producer only parks after
+                # observing a full ring.
+                _ring_bell(self._bell_in)
+            offset += take
+
+
+class ShmRingPair:
+    """A connected pair of shared-memory ring endpoints (client, server).
+
+    Mirrors :class:`~repro.rpc.transport.InProcessTransport`'s shape: build
+    one pair, hand ``client_side`` to the :class:`~repro.rpc.client.RpcClient`
+    and ``server_side`` to the container's RPC server.  The shared-memory
+    block is unlinked once both endpoints have closed.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if not HAS_SHARED_MEMORY:
+            raise RpcError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        if capacity < 64:
+            raise RpcError("ring capacity must be at least 64 bytes")
+        span = _CONTROL_BYTES + capacity
+        self._shm = _shared_memory.SharedMemory(create=True, size=2 * span)
+        self.name = self._shm.name
+        self._open_endpoints = 2
+        self._released = False
+        buf = self._shm.buf
+        rings = []
+        for index in range(2):
+            base = index * span
+            control = buf[base : base + _CONTROL_BYTES]
+            data = buf[base + _CONTROL_BYTES : base + span]
+            # Fresh SharedMemory blocks are zero-filled: head == tail == 0,
+            # closed == 0, so the ring is valid without explicit init.
+            rings.append((control, data))
+        ring_a_client = _Ring(*rings[0])
+        ring_b_client = _Ring(*rings[1])
+        # Independent views for the server endpoint so each side releases
+        # exactly its own memoryviews on close.
+        ring_a_server = _Ring(buf[0:_CONTROL_BYTES], buf[_CONTROL_BYTES:span])
+        ring_b_server = _Ring(
+            buf[span : span + _CONTROL_BYTES], buf[span + _CONTROL_BYTES : 2 * span]
+        )
+        bells_a = socket.socketpair()
+        bells_b = socket.socketpair()
+        for sock in (*bells_a, *bells_b):
+            sock.setblocking(False)
+        # Ring A carries client→server frames, ring B server→client.
+        self.client_side: Transport = ShmRingTransport(
+            out_ring=ring_a_client,
+            in_ring=ring_b_client,
+            bell_out=bells_a[0],
+            bell_in=bells_b[0],
+            release_cb=self._release,
+        )
+        self.server_side: Transport = ShmRingTransport(
+            out_ring=ring_b_server,
+            in_ring=ring_a_server,
+            bell_out=bells_b[1],
+            bell_in=bells_a[1],
+            release_cb=self._release,
+        )
+
+    def endpoints(self) -> Tuple[Transport, Transport]:
+        """Return the (client, server) endpoints."""
+        return self.client_side, self.server_side
+
+    def _release(self) -> None:
+        self._open_endpoints -= 1
+        if self._open_endpoints <= 0 and not self._released:
+            self._released = True
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already unlinked
+                pass
+
+
+__all__ = [
+    "DEFAULT_RING_CAPACITY",
+    "HAS_SHARED_MEMORY",
+    "ShmRingPair",
+    "ShmRingTransport",
+]

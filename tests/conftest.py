@@ -28,6 +28,11 @@ def pytest_configure(config):
         "markers",
         "chaos: slow crash-injection test, skipped unless --chaos is given",
     )
+    config.addinivalue_line(
+        "markers",
+        "shm: exercises the shared-memory ring transport; self-skips on "
+        "platforms without multiprocessing.shared_memory",
+    )
 
 
 def pytest_collection_modifyitems(config, items):

@@ -187,6 +187,9 @@ class TestSchemaValidation:
                 selection_policy="single",
                 input_type="doubles",
                 input_shape=(3,),
+                # Generous SLO: these tests assert validation behaviour, and
+                # the default 20 ms deadline flakes on a loaded CI machine.
+                latency_slo_ms=500.0,
             )
         )
         clipper.deploy_model(
