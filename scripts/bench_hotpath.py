@@ -3,9 +3,10 @@
 
 Runs the scenarios from :mod:`repro.evaluation.hotpath` (cache-hit,
 cache-miss, serialized wide cache-miss — in-process, over loopback TCP and
-over the shared-memory ring transport — four-model ensemble, the REST edge
-``http_predict`` plus its binary columnar twin ``http_predict_binary``, and
-the telemetry-overhead A/B pair) through a full
+over the shared-memory ring transport — four-model ensemble, the
+``overload`` flash crowd against an admission-controlled application, the
+REST edge ``http_predict`` plus its binary columnar twin
+``http_predict_binary``, and the telemetry-overhead A/B pair) through a full
 :class:`repro.core.clipper.Clipper` instance with no-op containers, and
 records p50/p99 latency and QPS per scenario so successive PRs have a perf
 trajectory to compare against.
@@ -26,6 +27,7 @@ layout is::
         "cache_miss_tcp": {...},
         "cache_miss_shm": {...},
         "ensemble": {...},
+        "overload": {...},
         "http_predict": {...},
         "http_predict_binary": {...},
         "telemetry_on": {...},

@@ -21,6 +21,7 @@ from repro.core.exceptions import (
     BadRequestError,
     ClipperError,
     DuplicateApplicationError,
+    OverloadError,
     UnknownApplicationError,
     ValidationError,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "DuplicateApplicationError",
     "MethodNotAllowedError",
     "NotAcceptableError",
+    "OverloadError",
     "RouteNotFoundError",
     "UnknownApplicationError",
     "UnsupportedMediaTypeError",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import socket
 from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Tuple
 from urllib.parse import parse_qsl
@@ -60,6 +61,7 @@ _REASONS = {
     413: "Content Too Large",
     415: "Unsupported Media Type",
     422: "Unprocessable Content",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
@@ -499,7 +501,16 @@ class HttpApiServer:
                     },
                     exc_info=True,
                 )
-            return status, error_payload(exc), JSON_CONTENT_TYPE, {}
+            extra_headers: Dict[str, str] = {}
+            retry_after_s = getattr(exc, "retry_after_s", None)
+            if retry_after_s is not None:
+                # Load-shed responses (429/503) tell clients when to come
+                # back; integral seconds per RFC 9110, rounded up so a
+                # sub-second hint never renders as "retry immediately".
+                extra_headers["Retry-After"] = str(
+                    max(1, int(math.ceil(retry_after_s)))
+                )
+            return status, error_payload(exc), JSON_CONTENT_TYPE, extra_headers
 
     async def _write_response(
         self,

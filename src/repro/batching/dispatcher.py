@@ -226,7 +226,8 @@ class ReplicaDispatcher:
         # Fast path: queries without deadlines (no straggler mitigation /
         # feedback re-evaluations) skip the live/expired partition entirely —
         # ``any`` short-circuits on the first deadline-carrying query.
-        if self.drop_expired and any(item.deadline is not None for item in batch):
+        carries_deadline = any(item.deadline is not None for item in batch)
+        if self.drop_expired and carries_deadline:
             now = time.monotonic()
             live, expired = [], []
             for item in batch:
@@ -238,6 +239,7 @@ class ReplicaDispatcher:
                     )
             batch = live
             if not batch:
+                # A 100%-expired batch is never dispatched.
                 return
 
         t_batch = time.monotonic()
@@ -256,10 +258,19 @@ class ReplicaDispatcher:
             trace_ids = [item.trace.trace_id for item in traced]
             span_log = []
         inputs = [item.input for item in batch]
+        # Deadline propagation: batches with deadline-carrying queries send
+        # the per-entry absolute deadlines on the wire (0.0 = none) so the
+        # container can skip entries that expire in transit.  Deadline-free
+        # batches send nothing extra.
+        deadlines = (
+            [item.deadline or 0.0 for item in batch]
+            if self.drop_expired and carries_deadline
+            else None
+        )
         start = time.perf_counter()
         try:
             response = await self.replica.predict_batch(
-                inputs, trace=trace_ids, span_log=span_log
+                inputs, trace=trace_ids, span_log=span_log, deadlines=deadlines
             )
         except (RpcError, ContainerError) as exc:
             self._handle_failed_batch(batch, exc)
@@ -290,8 +301,21 @@ class ReplicaDispatcher:
         if traced is not None:
             self._record_batch_spans(traced, span_log, response, t_batch)
         sink = self.late_result_sink
-        for item, output in zip(batch, response.outputs):
+        skipped = set(response.skipped) if response.skipped else None
+        outputs = iter(response.outputs)
+        for index, item in enumerate(batch):
             future = item.future
+            if skipped is not None and index in skipped:
+                # The container declined this entry: its deadline expired in
+                # transit.  The straggler sweeper has usually already
+                # resolved the future with DEADLINE_MISS; if not, surface
+                # the timeout here.
+                if not future.done():
+                    future.set_exception(
+                        PredictionTimeoutError(item.query_id or -1, 0.0)
+                    )
+                continue
+            output = next(outputs)
             if not future.done():
                 future.set_result(output)
             elif (

@@ -84,6 +84,12 @@ class BatchingQueue:
     def qsize(self) -> int:
         return len(self._items)
 
+    def saturation(self) -> float:
+        """Queue fullness in [0, 1]; always 0.0 for unbounded queues."""
+        if self.maxsize <= 0:
+            return 0.0
+        return min(1.0, len(self._items) / self.maxsize)
+
     @property
     def closed(self) -> bool:
         return self._closed
@@ -93,7 +99,12 @@ class BatchingQueue:
     async def put(self, item: PendingQuery) -> None:
         """Enqueue one pending query, waiting for space on a bounded queue."""
         if self.maxsize > 0:
-            while len(self._items) >= self.maxsize and not self._closed:
+            while len(self._items) >= self.maxsize:
+                # Re-checked on every wake-up: a producer parked on a full
+                # queue must raise promptly when the queue closes mid-wait,
+                # not only once space frees up.
+                if self._closed:
+                    raise RuntimeError(f"batching queue '{self.name}' is closed")
                 waiter = asyncio.get_running_loop().create_future()
                 self._putters.append(waiter)
                 try:
@@ -117,6 +128,40 @@ class BatchingQueue:
             raise asyncio.QueueFull(f"batching queue '{self.name}' is full")
         self._items.append(item)
         self._wake_next(self._getters)
+
+    def evict_expiring(self) -> Optional[PendingQuery]:
+        """Remove and return the queued entry closest to deadline expiry.
+
+        The ``drop-oldest`` shed policy's victim selector: prefers the item
+        with the earliest deadline (the one most likely to miss anyway);
+        when no queued item carries a deadline, the head of the queue (the
+        oldest entry) is evicted instead.  Returns ``None`` on an empty
+        queue.  The caller owns resolving the victim's future.
+        """
+        items = self._items
+        if not items:
+            return None
+        best_index = -1
+        best_deadline: Optional[float] = None
+        for index, item in enumerate(items):
+            deadline = item.deadline
+            if deadline is not None and (
+                best_deadline is None or deadline < best_deadline
+            ):
+                best_index, best_deadline = index, deadline
+        if best_index < 0:
+            victim = items.popleft()
+        else:
+            victim = items[best_index]
+            del items[best_index]
+        if self._putters and (self.maxsize == 0 or len(items) < self.maxsize):
+            self._wake_next(self._putters)
+        if not items and self._empty_waiters:
+            while self._empty_waiters:
+                waiter = self._empty_waiters.popleft()
+                if not waiter.done():
+                    waiter.set_result(None)
+        return victim
 
     # -- consumer side ---------------------------------------------------------
 

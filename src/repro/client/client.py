@@ -114,6 +114,10 @@ class DeadlineMissed(ApiStatusError):
     """The prediction missed its SLO and the application has no default (504)."""
 
 
+class ServiceOverloaded(ApiStatusError):
+    """The server shed the request under overload (429 + ``Retry-After``)."""
+
+
 class ManagementConflict(ApiStatusError):
     """An operator verb conflicted with the durable serving record (409)."""
 
@@ -133,6 +137,7 @@ _ERRORS_BY_CODE = {
     "invalid_input": InvalidInput,
     "invalid_configuration": MalformedRequest,
     "deadline_missed": DeadlineMissed,
+    "overloaded": ServiceOverloaded,
     "management_conflict": ManagementConflict,
     "deployment_conflict": ManagementConflict,
     "routing_conflict": ManagementConflict,
@@ -240,6 +245,10 @@ class RetryPolicy:
     bytes) is retriable only for GET — a POST may have executed
     server-side and deploying or updating twice is worse than surfacing
     the error; any failure after the first response byte is terminal.
+    The exception is a **load-shed response** (429 or 503): the server
+    answered without executing the request, so re-issuing is safe for
+    every method, and the server's ``Retry-After`` hint (capped at
+    ``max_delay_s``) replaces the computed backoff when present.
     When the budget runs out the last failure is surfaced as
     :class:`RetryBudgetExceeded`.  ``RetryPolicy(max_attempts=1)``
     disables retries entirely.
@@ -356,7 +365,9 @@ class _HttpConnection:
                 failure, retriable = exc, True
             else:
                 try:
-                    return await self._round_trip(method, path, body, binary)
+                    status, payload, retry_after = await self._round_trip(
+                        method, path, body, binary
+                    )
                 except _StaleConnection as exc:
                     # The request went out but nothing of the response
                     # arrived.  Only an idempotent GET is re-issued; a POST
@@ -378,6 +389,20 @@ class _HttpConnection:
                     raise TransportError(
                         f"{method} {path} failed: {exc!r}"
                     ) from None
+                else:
+                    if status in (429, 503) and attempts < policy.max_attempts:
+                        # The server shed the request without executing it, so
+                        # re-issuing is safe for every method.  Honor its
+                        # Retry-After hint (capped at the policy's max delay);
+                        # fall back to the computed backoff when absent.
+                        if retry_after is None:
+                            delay = policy.delay_for(attempts - 1, self._rng)
+                        else:
+                            delay = min(retry_after, policy.max_delay_s)
+                        if delay > 0:
+                            await asyncio.sleep(delay)
+                        continue
+                    return status, payload
             if not retriable:
                 raise failure from None
             if attempts >= policy.max_attempts:
@@ -394,7 +419,7 @@ class _HttpConnection:
 
     async def _round_trip(
         self, method: str, path: str, body: Any, binary: bool = False
-    ) -> Tuple[int, Any]:
+    ) -> Tuple[int, Any, Optional[float]]:
         if binary and body is not None:
             # Encode before touching the connection: an unencodable body
             # must fail cleanly, not poison the keep-alive stream.
@@ -456,19 +481,29 @@ class _HttpConnection:
         data = await self._reader.readexactly(length) if length else b""
         if "close" in headers.get("connection", "").lower():
             await self._reset()
+        retry_after: Optional[float] = None
+        if status in (429, 503):
+            # Delay-seconds form only (the server never sends HTTP dates);
+            # an unparsable value is ignored rather than failing the call.
+            raw = headers.get("retry-after")
+            if raw:
+                try:
+                    retry_after = max(0.0, float(raw))
+                except ValueError:
+                    retry_after = None
         if not data:
-            return status, None
+            return status, None, retry_after
         # The response's own Content-Type picks the decoder — errors render
         # as JSON even on a binary exchange.
         response_type = headers.get("content-type", "").split(";")[0].strip().lower()
         if response_type == COLUMNAR_CONTENT_TYPE:
             try:
-                return status, deserialize(data)
+                return status, deserialize(data), retry_after
             except SerializationError as exc:
                 raise TransportError(
                     f"{method} {path}: undecodable columnar response: {exc}"
                 ) from None
-        return status, json.loads(data.decode("utf-8"))
+        return status, json.loads(data.decode("utf-8")), retry_after
 
 
 class _BaseAsyncClient:

@@ -134,6 +134,7 @@ class ContainerReplica:
         inputs: Sequence[Any],
         trace: Optional[List[Any]] = None,
         span_log: Optional[list] = None,
+        deadlines: Optional[List[float]] = None,
     ) -> RpcResponse:
         """Evaluate one batch on this replica via RPC.
 
@@ -144,13 +145,16 @@ class ContainerReplica:
 
         ``trace``/``span_log`` propagate the tracing layer's batch trace ids
         and span sink through the RPC client (see :meth:`RpcClient.predict`);
-        both default to off and cost nothing when unused.
+        ``deadlines`` carries per-entry absolute monotonic deadlines the
+        container may use to skip already-expired entries.  All default to
+        off and cost nothing when unused.
         """
         if not self._started:
             raise ContainerError(self._model_key, "replica is not started")
         inputs = inputs if isinstance(inputs, list) else list(inputs)
         return await self.client.predict(
-            self._model_key, inputs, trace=trace, span_log=span_log
+            self._model_key, inputs, trace=trace, span_log=span_log,
+            deadlines=deadlines,
         )
 
     async def check_health(self, timeout_s: Optional[float] = None) -> bool:

@@ -57,6 +57,7 @@ from repro.core.config import ClipperConfig, ModelDeployment
 from repro.core.exceptions import (
     ClipperError,
     DeploymentError,
+    OverloadError,
     PredictionTimeoutError,
 )
 from repro.core.metrics import MetricsRegistry
@@ -66,6 +67,7 @@ from repro.observability.tracing import (
     TRACE_STRAGGLER,
     Tracer,
 )
+from repro.overload import AdmissionController, CircuitBreaker
 from repro.routing.split import TrafficSplit
 from repro.routing.table import RoutePlan, RoutingTable, parse_namespace_keys
 from repro.selection.manager import SelectionStateManager
@@ -210,6 +212,27 @@ class Clipper:
         self._feedback_counter = self.metrics.counter("feedback.count")
         self._feedback_meter = self.metrics.meter("feedback.throughput")
         self._unavailable_counter = self.metrics.counter("predict.unavailable_models")
+        # Overload layer.  With no OverloadConfig the admission gate is None
+        # and no breaker dict entries exist, so the serve path's only cost is
+        # a couple of attribute reads per query — and the cache-hit fast path
+        # pays nothing at all (the gate is consulted only at a cache miss).
+        overload_cfg = self.config.overload
+        self._admission = (
+            AdmissionController(overload_cfg) if overload_cfg is not None else None
+        )
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_transition_family = None
+        self._breaker_fastfail_counter = None
+        if self._admission is not None:
+            shed_family = self.metrics.counter_family("overload.shed", label="policy")
+            self._shed_counters = {
+                "reject": shed_family.labels("reject"),
+                "degrade": shed_family.labels("degrade"),
+                "drop-oldest": shed_family.labels("drop-oldest"),
+            }
+            self.metrics.gauge("overload.saturation", fn=self._admission.saturation)
+        else:
+            self._shed_counters = None
         # The tracing layer follows the same handle discipline: ``begin`` is
         # bound once, and an untraced query's total tracing cost is that one
         # call returning None plus per-site ``is not None`` checks.
@@ -243,12 +266,21 @@ class Clipper:
             serialize_messages=deployment.serialize_rpc,
             transport=deployment.transport,
         )
-        queue = BatchingQueue(name=key)
+        queue = BatchingQueue(name=key, maxsize=deployment.batching.max_queue_depth)
         record = _DeployedModel(deployment, replica_set, queue, [])
         record.dispatchers = [
             self._make_dispatcher(record, replica) for replica in replica_set
         ]
         self._models[key] = record
+        # Pressure observability: callback gauges read the queue only at
+        # scrape/snapshot time, so the enqueue path pays nothing.  ``bind``
+        # repoints an existing gauge at the new queue when a key is
+        # redeployed after an undeploy (metrics are never removed).
+        self.metrics.gauge(f'queue.saturation{{model="{key}"}}').bind(queue.saturation)
+        self.metrics.gauge(f'queue.depth{{model="{key}"}}').bind(queue.qsize)
+        breaker_config = deployment.circuit_breaker or self.config.breaker
+        if breaker_config is not None:
+            self._breakers[key] = self._make_breaker(key, breaker_config)
         if activate is None:
             # Default: the first version of a name serves immediately; later
             # versions come up staged and wait for an explicit rollout.
@@ -261,6 +293,27 @@ class Clipper:
                 # mixed serving-set state is unreachable now.
                 self._prune_selection_state()
         return record
+
+    def _make_breaker(self, model_key: str, config) -> CircuitBreaker:
+        """Build one model's circuit breaker wired into metrics + tracing."""
+        if self._breaker_transition_family is None:
+            self._breaker_transition_family = self.metrics.counter_family(
+                "breaker.transitions", label="state"
+            )
+            self._breaker_fastfail_counter = self.metrics.counter(
+                "overload.breaker_fastfail"
+            )
+        family = self._breaker_transition_family
+
+        def on_transition(old_state: str, new_state: str) -> None:
+            family.labels(new_state).increment()
+            self.tracer.capture_event(
+                "breaker.transition",
+                meta={"model": model_key, "from": old_state, "to": new_state},
+                component="overload",
+            )
+
+        return CircuitBreaker(config, on_transition=on_transition)
 
     def _make_dispatcher(
         self, record: _DeployedModel, replica
@@ -362,6 +415,7 @@ class Clipper:
             elif self.routing.previous_key(name) == key:
                 self.routing.drop_previous(name)
             del self._models[key]
+            self._breakers.pop(key, None)
             self._prune_selection_state()
             if self._started:
                 record.queue.close()
@@ -717,122 +771,174 @@ class Clipper:
         pending: Dict[str, asyncio.Future] = {}
         predictions: Dict[str, Any] = {}
         cache_hits = 0
-        for model_key in selected:
-            cached = self.cache.fetch_by_hash(model_key, input_hash)
-            if cached is not None:
-                predictions[model_key] = cached
-                cache_hits += 1
-                continue
-            if trace is None and self._trace_shadow is not None:
-                trace = self._trace_shadow(start)
-            try:
-                future = await self._submit(
-                    model_key, query, deadline, input_hash, trace
-                )
-            except DeploymentError:
-                # The model was undeployed between selection and submission
-                # (a live management op); treat it as missing rather than
-                # failing the query.
-                self._unavailable_counter.increment()
-                continue
-            pending[model_key] = future
-        if sampled is not None:
-            now = time.monotonic()
-            sampled.spans.append(("cache.lookup", t_stage, now, None))
-            t_stage = now
-
-        if pending:
-            if trace is not None:
-                t_wait = time.monotonic()
-            # Await each pending model future directly.  With straggler
-            # mitigation on, every future self-resolves by the deadline (the
-            # sweep timer delivers DEADLINE_MISS), so the sequential loop
-            # still returns at the deadline while each completion wakes this
-            # task without intermediate waiter futures or per-query timers.
-            for model_key, future in pending.items():
+        # Overload control touches only cache misses: a fully cached query
+        # never consults the admission gate or any breaker, keeping the
+        # fast path identical to an unconfigured instance.
+        admission = self._admission
+        breakers = self._breakers
+        admitted = False
+        try:
+            for model_key in selected:
+                cached = self.cache.fetch_by_hash(model_key, input_hash)
+                if cached is not None:
+                    predictions[model_key] = cached
+                    cache_hits += 1
+                    continue
+                if admission is not None and not admitted:
+                    # One admission slot per query, consumed at the first
+                    # cache miss and returned in the ``finally`` below.
+                    if admission.try_acquire():
+                        admitted = True
+                    elif (
+                        admission.config.shed_policy == "drop-oldest"
+                        and self._try_drop_oldest(model_key)
+                    ):
+                        admission.force_acquire()
+                        admitted = True
+                    else:
+                        return self._shed(query, start, selected, trace, slo_ms)
+                breaker = breakers.get(model_key) if breakers else None
+                if breaker is not None and not breaker.allow():
+                    # Breaker open: fast-fail this model without touching its
+                    # queue; the query renders from the remaining models or
+                    # the default output, exactly like a missing model.
+                    self._breaker_fastfail_counter.increment()
+                    continue
+                if trace is None and self._trace_shadow is not None:
+                    trace = self._trace_shadow(start)
                 try:
-                    output = await future
-                except asyncio.CancelledError:
-                    if future.cancelled():
-                        continue  # the query was abandoned, not this task
-                    raise
-                except Exception:
-                    # Container/RPC failure, or the batch layer dropped the
-                    # query as already expired.
-                    self._container_error_counter.increment()
-                    if trace is not None:
-                        trace.flags |= TRACE_ERROR
+                    future = await self._submit(
+                        model_key, query, deadline, input_hash, trace,
+                        shed_on_full=True,
+                    )
+                except DeploymentError:
+                    # The model was undeployed between selection and
+                    # submission (a live management op); treat it as missing
+                    # rather than failing the query.
+                    self._unavailable_counter.increment()
+                    if breaker is not None:
+                        breaker.abandon()
                     continue
-                if output is DEADLINE_MISS:
-                    # Straggler: rendered without this model (§5.2.2).  Its
-                    # late result still lands in the cache — the dispatcher
-                    # late-fills through the sink installed at deployment.
-                    self._straggler_counter.increment()
-                    if trace is not None:
-                        trace.flags |= TRACE_STRAGGLER
-                        now = time.monotonic()
-                        trace.spans.append(
-                            ("deadline.miss", now, now, {"model": model_key})
-                        )
-                    continue
-                output = _detach_output(output)
-                self.cache.put_by_hash(model_key, input_hash, output)
-                predictions[model_key] = output
-            if trace is not None:
-                t_stage = time.monotonic()
-                trace.spans.append(("model.wait", t_wait, t_stage, None))
+                except OverloadError:
+                    # Bounded queue full and drop-oldest could not make room.
+                    if breaker is not None:
+                        breaker.abandon()
+                    return self._shed(query, start, selected, trace, slo_ms)
+                pending[model_key] = future
+            if sampled is not None:
+                now = time.monotonic()
+                sampled.spans.append(("cache.lookup", t_stage, now, None))
+                t_stage = now
 
-        latency_ms = (time.monotonic() - start) * 1000.0
-        if len(predictions) == len(selected):
-            missing = ()
-        else:
-            missing = tuple(key for key in selected if key not in predictions)
-        if plan.tracked_arms:
-            # Canary in flight: attribute this query's outcome to the split
-            # arm(s) that served it, through handles resolved at table-swap
-            # time (zero registry lookups here).
-            for arm_key, arm in plan.tracked_arms:
-                if arm_key in selected:
-                    arm.observe(latency_ms, ok=arm_key in predictions)
+            if pending:
+                if trace is not None:
+                    t_wait = time.monotonic()
+                # Await each pending model future directly.  With straggler
+                # mitigation on, every future self-resolves by the deadline
+                # (the sweep timer delivers DEADLINE_MISS), so the sequential
+                # loop still returns at the deadline while each completion
+                # wakes this task without intermediate waiter futures or
+                # per-query timers.
+                for model_key, future in pending.items():
+                    breaker = breakers.get(model_key) if breakers else None
+                    try:
+                        output = await future
+                    except asyncio.CancelledError:
+                        if future.cancelled():
+                            if breaker is not None:
+                                breaker.abandon()
+                            continue  # the query was abandoned, not this task
+                        raise
+                    except Exception:
+                        # Container/RPC failure, or the batch layer dropped
+                        # the query as already expired.
+                        self._container_error_counter.increment()
+                        if breaker is not None:
+                            breaker.record_failure()
+                        if trace is not None:
+                            trace.flags |= TRACE_ERROR
+                        continue
+                    if output is DEADLINE_MISS:
+                        # Straggler: rendered without this model (§5.2.2).
+                        # Its late result still lands in the cache — the
+                        # dispatcher late-fills through the sink installed at
+                        # deployment.
+                        self._straggler_counter.increment()
+                        if breaker is not None:
+                            breaker.record_failure(timeout=True)
+                        if trace is not None:
+                            trace.flags |= TRACE_STRAGGLER
+                            now = time.monotonic()
+                            trace.spans.append(
+                                ("deadline.miss", now, now, {"model": model_key})
+                            )
+                        continue
+                    if breaker is not None:
+                        breaker.record_success()
+                    output = _detach_output(output)
+                    self.cache.put_by_hash(model_key, input_hash, output)
+                    predictions[model_key] = output
+                if trace is not None:
+                    t_stage = time.monotonic()
+                    trace.spans.append(("model.wait", t_wait, t_stage, None))
 
-        if not predictions:
-            if self.config.default_output is not None:
-                return self._finish(
-                    query, self.config.default_output, 0.0, latency_ms,
-                    selected, missing, default_used=True, from_cache=False,
-                    trace=trace, slo_ms=slo_ms,
+            latency_ms = (time.monotonic() - start) * 1000.0
+            if len(predictions) == len(selected):
+                missing = ()
+            else:
+                missing = tuple(key for key in selected if key not in predictions)
+            if plan.tracked_arms:
+                # Canary in flight: attribute this query's outcome to the
+                # split arm(s) that served it, through handles resolved at
+                # table-swap time (zero registry lookups here).
+                for arm_key, arm in plan.tracked_arms:
+                    if arm_key in selected:
+                        arm.observe(latency_ms, ok=arm_key in predictions)
+
+            if not predictions:
+                if self.config.default_output is not None:
+                    return self._finish(
+                        query, self.config.default_output, 0.0, latency_ms,
+                        selected, missing, default_used=True, from_cache=False,
+                        trace=trace, slo_ms=slo_ms,
+                    )
+                if trace is not None:
+                    self.tracer.finish(
+                        trace, latency_ms > slo_ms, False, True, query.query_id
+                    )
+                raise PredictionTimeoutError(query.query_id, slo_ms)
+
+            output, confidence = selection.combine(
+                query.input, predictions, context=query.user_id,
+                state=selection_state,
+            )
+            if sampled is not None:
+                sampled.spans.append(
+                    ("selection.combine", t_stage, time.monotonic(), None)
                 )
-            if trace is not None:
-                self.tracer.finish(
-                    trace, latency_ms > slo_ms, False, True, query.query_id
-                )
-            raise PredictionTimeoutError(query.query_id, slo_ms)
-
-        output, confidence = selection.combine(
-            query.input, predictions, context=query.user_id, state=selection_state
-        )
-        if sampled is not None:
-            sampled.spans.append(("selection.combine", t_stage, time.monotonic(), None))
-        default_used = False
-        if (
-            self.config.confidence_threshold > 0.0
-            and confidence < self.config.confidence_threshold
-            and self.config.default_output is not None
-        ):
-            output = self.config.default_output
-            default_used = True
-        return self._finish(
-            query,
-            output,
-            confidence,
-            latency_ms,
-            selected,
-            missing,
-            default_used=default_used,
-            from_cache=cache_hits == len(selected),
-            trace=trace,
-            slo_ms=slo_ms,
-        )
+            default_used = False
+            if (
+                self.config.confidence_threshold > 0.0
+                and confidence < self.config.confidence_threshold
+                and self.config.default_output is not None
+            ):
+                output = self.config.default_output
+                default_used = True
+            return self._finish(
+                query,
+                output,
+                confidence,
+                latency_ms,
+                selected,
+                missing,
+                default_used=default_used,
+                from_cache=cache_hits == len(selected),
+                trace=trace,
+                slo_ms=slo_ms,
+            )
+        finally:
+            if admitted:
+                admission.release()
 
     async def _submit(
         self,
@@ -841,6 +947,7 @@ class Clipper:
         deadline: Optional[float],
         input_hash: Optional[str] = None,
         trace: Optional[Any] = None,
+        shed_on_full: bool = False,
     ) -> asyncio.Future:
         record = self._models.get(model_key)
         if record is None:
@@ -857,11 +964,153 @@ class Clipper:
         if record.queue.maxsize == 0:
             # Unbounded queue (the default): enqueue without suspending.
             record.queue.put_nowait(item)
+        elif shed_on_full:
+            # The prediction path never blocks on a full bounded queue: it
+            # sheds instead (drop-oldest makes room by evicting the entry
+            # closest to deadline expiry; otherwise OverloadError bubbles
+            # to the caller's shed policy).
+            try:
+                record.queue.put_nowait(item)
+            except asyncio.QueueFull:
+                admission = self._admission
+                policy = admission.config.shed_policy if admission else None
+                if policy == "drop-oldest" and self._try_drop_oldest(model_key):
+                    record.queue.put_nowait(item)
+                else:
+                    raise OverloadError(
+                        f"queue for model '{model_key}' is full",
+                        retry_after_s=(
+                            admission.retry_after_s()
+                            if admission is not None
+                            else self.config.latency_slo_ms / 1000.0
+                        ),
+                    ) from None
         else:
             await record.queue.put(item)
         if item.deadline is not None:
             self._sweeper.register(future, item.deadline)
         return future
+
+    def _try_drop_oldest(self, model_key: str) -> bool:
+        """Evict the queued entry closest to deadline expiry to make room.
+
+        The victim's future resolves with :data:`DEADLINE_MISS`, so from its
+        caller's perspective the dropped query looks exactly like a straggler
+        (rendered from the remaining models or the default output).
+        """
+        record = self._models.get(model_key)
+        if record is None:
+            return False
+        victim = record.queue.evict_expiring()
+        if victim is None:
+            return False
+        if not victim.future.done():
+            victim.future.set_result(DEADLINE_MISS)
+        if self._shed_counters is not None:
+            self._shed_counters["drop-oldest"].increment()
+        self.tracer.capture_event(
+            "overload.shed",
+            meta={"policy": "drop-oldest", "victim_query_id": victim.query_id,
+                  "model": model_key},
+            component="overload",
+        )
+        return True
+
+    def _shed(
+        self,
+        query: Query,
+        start: float,
+        selected: List[str],
+        trace: Optional[Any],
+        slo_ms: float,
+    ) -> Prediction:
+        """Resolve a query the admission gate refused.
+
+        Under the ``degrade`` policy (with a default output configured) the
+        query is answered immediately with the default prediction flagged
+        ``default_used``; every other case raises :class:`OverloadError`,
+        which the HTTP frontend renders as a structured 429 with a
+        ``Retry-After`` hint.
+        """
+        admission = self._admission
+        policy = admission.config.shed_policy if admission is not None else "reject"
+        if policy == "degrade" and self.config.default_output is not None:
+            if self._shed_counters is not None:
+                self._shed_counters["degrade"].increment()
+            self.tracer.capture_event(
+                "overload.shed",
+                meta={"policy": "degrade", "query_id": query.query_id},
+                component="overload",
+            )
+            latency_ms = (time.monotonic() - start) * 1000.0
+            return self._finish(
+                query, self.config.default_output, 0.0, latency_ms,
+                selected, tuple(selected), default_used=True, from_cache=False,
+                trace=trace, slo_ms=slo_ms,
+            )
+        if self._shed_counters is not None:
+            self._shed_counters["reject"].increment()
+        self.tracer.capture_event(
+            "overload.shed",
+            meta={"policy": "reject", "query_id": query.query_id},
+            component="overload",
+        )
+        if trace is not None:
+            latency_ms = (time.monotonic() - start) * 1000.0
+            self.tracer.finish(
+                trace, latency_ms > slo_ms, False, True, query.query_id
+            )
+        raise OverloadError(
+            f"application '{query.app_name}' is overloaded",
+            retry_after_s=(
+                admission.retry_after_s() if admission is not None else 1.0
+            ),
+        )
+
+    def check_admission(self) -> None:
+        """Edge precheck: refuse obviously-doomed requests before any work.
+
+        Called by the HTTP frontend ahead of input validation.  Only the
+        ``reject`` policy short-circuits here (non-consuming ``saturated()``
+        peek — the engine's ``try_acquire`` still makes the real decision);
+        ``degrade`` and ``drop-oldest`` must reach the engine to produce
+        their answer.
+        """
+        admission = self._admission
+        if admission is None or admission.config.shed_policy != "reject":
+            return
+        if admission.saturated():
+            if self._shed_counters is not None:
+                self._shed_counters["reject"].increment()
+            self.tracer.capture_event(
+                "overload.shed",
+                meta={"policy": "reject", "stage": "edge"},
+                component="overload",
+            )
+            raise OverloadError(
+                "application is overloaded",
+                retry_after_s=admission.retry_after_s(),
+            )
+
+    def overload_state(self) -> dict:
+        """Pressure snapshot for the management plane's ``describe``."""
+        queues = {}
+        for key, record in self._models.items():
+            queue = record.queue
+            queues[key] = {
+                "depth": queue.qsize(),
+                "max_depth": queue.maxsize,
+                "saturation": round(queue.saturation(), 4),
+            }
+        return {
+            "admission": (
+                self._admission.state() if self._admission is not None else None
+            ),
+            "breakers": {
+                key: breaker.describe() for key, breaker in self._breakers.items()
+            },
+            "queues": queues,
+        }
 
     def _finish(
         self,

@@ -42,6 +42,11 @@ class BatchingConfig:
         additional queries when the queue holds fewer than the target batch.
     quantile:
         Latency quantile targeted by the quantile-regression controller.
+    max_queue_depth:
+        Bound on the model's batching queue (0 = unbounded, the default).
+        With a bound, the overload layer's shed policy decides what happens
+        when a query arrives at a full queue: reject with 429, degrade to the
+        default output, or evict the entry closest to deadline expiry.
     pipeline_window:
         Maximum batches a dispatcher keeps in flight per replica (default 2):
         while one batch's RPC is outstanding, the dispatcher drains and
@@ -59,6 +64,7 @@ class BatchingConfig:
     batch_wait_timeout_ms: float = 0.0
     quantile: float = 0.99
     quantile_window: int = 200
+    max_queue_depth: int = 0
     pipeline_window: int = 2
 
     def __post_init__(self) -> None:
@@ -77,8 +83,98 @@ class BatchingConfig:
             raise ConfigurationError("batch_wait_timeout_ms must be non-negative")
         if not 0.0 < self.quantile < 1.0:
             raise ConfigurationError("quantile must be in (0, 1)")
+        if self.max_queue_depth < 0:
+            raise ConfigurationError("max_queue_depth must be non-negative")
         if self.pipeline_window < 1:
             raise ConfigurationError("pipeline_window must be >= 1")
+
+
+@dataclass
+class OverloadConfig:
+    """Admission-control configuration for one application.
+
+    The admission gate sits in front of the batching queues and sheds work
+    *before* it consumes engine resources — the fast, local complement to
+    the slower control loops (health monitor, future autoscaler).
+
+    Parameters
+    ----------
+    rate_limit_qps:
+        Token-bucket refill rate in admitted queries/second (0 = unlimited).
+    burst:
+        Token-bucket capacity: how many queries above the sustained rate may
+        be admitted back-to-back.  0 derives ``max(1, rate_limit_qps)``.
+    max_concurrency:
+        Maximum queries simultaneously in flight past admission
+        (0 = unlimited).
+    shed_policy:
+        What happens to a query the gate cannot admit: ``"reject"`` raises
+        :class:`~repro.core.exceptions.OverloadError` (HTTP 429 +
+        ``Retry-After``), ``"degrade"`` answers immediately with the
+        application's default output (``default: true`` flag set), and
+        ``"drop-oldest"`` evicts the queued entry closest to deadline expiry
+        to make room (falling back to reject when nothing is evictable).
+    retry_after_s:
+        Baseline ``Retry-After`` hint when the gate cannot compute one from
+        the token bucket (e.g. pure concurrency saturation).
+    """
+
+    rate_limit_qps: float = 0.0
+    burst: int = 0
+    max_concurrency: int = 0
+    shed_policy: str = "reject"
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_limit_qps < 0:
+            raise ConfigurationError("rate_limit_qps must be non-negative")
+        if self.burst < 0:
+            raise ConfigurationError("burst must be non-negative")
+        if self.max_concurrency < 0:
+            raise ConfigurationError("max_concurrency must be non-negative")
+        valid = {"reject", "degrade", "drop-oldest"}
+        if self.shed_policy not in valid:
+            raise ConfigurationError(
+                f"unknown shed_policy '{self.shed_policy}', "
+                f"expected one of {sorted(valid)}"
+            )
+        if self.retry_after_s <= 0:
+            raise ConfigurationError("retry_after_s must be positive")
+
+
+@dataclass
+class CircuitBreakerConfig:
+    """Per-model circuit-breaker thresholds.
+
+    The breaker trips open when the recent error rate crosses
+    ``error_rate_threshold`` (over at least ``min_samples`` of the last
+    ``window`` outcomes) or after ``consecutive_timeouts`` deadline misses in
+    a row.  While open, queries fast-fail to the default output instead of
+    paying the model's timeout.  After ``open_duration_s`` the breaker lets
+    ``half_open_probes`` trial queries trickle through: all succeeding closes
+    it, any failing reopens it.
+    """
+
+    error_rate_threshold: float = 0.5
+    window: int = 20
+    min_samples: int = 10
+    consecutive_timeouts: int = 5
+    open_duration_s: float = 1.0
+    half_open_probes: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.error_rate_threshold <= 1.0:
+            raise ConfigurationError("error_rate_threshold must be in (0, 1]")
+        if self.window < 1:
+            raise ConfigurationError("window must be >= 1")
+        if self.min_samples < 1:
+            raise ConfigurationError("min_samples must be >= 1")
+        if self.consecutive_timeouts < 1:
+            raise ConfigurationError("consecutive_timeouts must be >= 1")
+        if self.open_duration_s <= 0:
+            raise ConfigurationError("open_duration_s must be positive")
+        if self.half_open_probes < 1:
+            raise ConfigurationError("half_open_probes must be >= 1")
 
 
 @dataclass
@@ -120,6 +216,10 @@ class ModelDeployment:
         ``serialize_rpc``), ``"shm"`` (same-host shared-memory rings, see
         :mod:`repro.rpc.shm`) or ``"tcp"`` (loopback sockets).  The shm and
         tcp lanes always serialize — they model a real container boundary.
+    circuit_breaker:
+        Per-model circuit-breaker thresholds, overriding the application's
+        :attr:`ClipperConfig.breaker` default.  ``None`` inherits the
+        application-level setting (which may itself be ``None`` = no breaker).
     """
 
     name: str
@@ -131,6 +231,7 @@ class ModelDeployment:
     max_batch_retries: int = 3
     factory_name: Optional[str] = None
     transport: str = "inprocess"
+    circuit_breaker: Optional[CircuitBreakerConfig] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -230,6 +331,14 @@ class ClipperConfig:
         Two instances with the same seed split the same key population
         identically; changing the seed re-partitions which routing keys land
         on a canary arm.
+    overload:
+        Admission-control configuration (:class:`OverloadConfig`).  ``None``
+        (default) disables the admission gate entirely — the overload layer
+        adds zero work to the serve path.
+    breaker:
+        Application-default circuit-breaker thresholds applied to every
+        deployed model unless the deployment carries its own
+        ``circuit_breaker``.  ``None`` (default) means no breakers.
     """
 
     app_name: str = "default-app"
@@ -248,6 +357,8 @@ class ClipperConfig:
     routing_seed: int = 0
     seed: Optional[int] = None
     tracing: TracingConfig = field(default_factory=TracingConfig)
+    overload: Optional[OverloadConfig] = None
+    breaker: Optional[CircuitBreakerConfig] = None
 
     def __post_init__(self) -> None:
         if self.latency_slo_ms <= 0:

@@ -84,6 +84,28 @@ class PredictionTimeoutError(ClipperError):
         self.detail = {"query_id": query_id, "deadline_ms": deadline_ms}
 
 
+class OverloadError(ClipperError):
+    """Raised when admission control sheds a query under overload.
+
+    Maps to HTTP 429 at the REST edge; ``retry_after_s`` is surfaced as the
+    ``Retry-After`` response header so well-behaved clients back off for the
+    time the admission controller expects capacity to free up.
+    """
+
+    code = "overloaded"
+    http_status = 429
+
+    def __init__(
+        self,
+        message: str = "application is overloaded",
+        retry_after_s: float = 1.0,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        super().__init__(message, detail=detail)
+        self.retry_after_s = float(retry_after_s)
+        self.detail.setdefault("retry_after_s", self.retry_after_s)
+
+
 class SelectionPolicyError(ClipperError):
     """Raised when a selection policy is misused or misconfigured."""
 

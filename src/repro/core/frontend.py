@@ -162,6 +162,10 @@ class QueryFrontend(ApplicationHost):
         trace trees start at the edge, not inside the engine.
         """
         clipper = self._lookup(app_name)
+        # Overload precheck: under the reject shed policy a saturated
+        # admission gate refuses the request before any validation work
+        # (non-consuming peek; the engine still makes the real decision).
+        clipper.check_admission()
         metadata = None
         if clipper.tracer.active:
             t0 = time.monotonic()

@@ -1,10 +1,11 @@
 """Lightweight metrics registry used throughout the serving stack.
 
 Clipper reports throughput and latency distributions (mean, P99) for every
-experiment in the paper.  This module provides the three metric primitives
+experiment in the paper.  This module provides the metric primitives
 needed to regenerate those numbers — :class:`Counter`, :class:`Meter`
-(events/second over a window) and :class:`Histogram` (reservoir of recent
-observations with quantile queries) — plus a :class:`MetricsRegistry` that
+(events/second over a window), :class:`Histogram` (reservoir of recent
+observations with quantile queries) and :class:`Gauge` (point-in-time
+values such as queue saturation) — plus a :class:`MetricsRegistry` that
 names and aggregates them.
 """
 
@@ -14,7 +15,7 @@ import math
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Deque, Dict, Iterable, List
 
 import numpy as np
@@ -138,6 +139,46 @@ class Histogram:
             self._count = 0
 
 
+class Gauge:
+    """A point-in-time value: set explicitly or computed by a callback at read.
+
+    Callback gauges (``fn``) are the cheap way to expose pressure signals —
+    queue saturation, admission inflight — without the producer paying
+    anything per event: the value is computed only when a scrape or snapshot
+    reads it.
+    """
+
+    def __init__(self, name: str, fn=None) -> None:
+        self.name = name
+        self._fn = fn
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value (ignored for callback gauges)."""
+        self._value = float(value)
+
+    def bind(self, fn) -> None:
+        """(Re)bind the callback computing this gauge's value.
+
+        Metrics are never removed from a registry, so a producer that is
+        rebuilt under the same name (e.g. a model redeployed after undeploy)
+        rebinds its gauge instead of reading the dead predecessor forever.
+        """
+        self._fn = fn
+
+    @property
+    def value(self) -> float:
+        if self._fn is not None:
+            try:
+                return float(self._fn())
+            except Exception:
+                return float("nan")
+        return self._value
+
+    def reset(self) -> None:
+        self._value = 0.0
+
+
 class ArmMetrics:
     """Cached metric handles attributing traffic to one serving arm.
 
@@ -203,6 +244,8 @@ class MetricFamily:
         elif kind == "histogram":
             window_size = kwargs.get("window_size", 16384)
             self._create = lambda n: registry.histogram(n, window_size)
+        elif kind == "gauge":
+            self._create = registry.gauge
         else:
             raise ValueError(f"unknown metric family kind: {kind!r}")
 
@@ -227,6 +270,7 @@ class MetricsSnapshot:
     counters: Dict[str, int]
     meters: Dict[str, float]
     histograms: Dict[str, Dict[str, float]]
+    gauges: Dict[str, float] = field(default_factory=dict)
 
     def describe(self) -> str:
         """Render the snapshot as a human-readable multi-line string."""
@@ -235,6 +279,8 @@ class MetricsSnapshot:
             lines.append(f"counter {name} = {value}")
         for name, rate in sorted(self.meters.items()):
             lines.append(f"meter {name} = {rate:.1f}/s")
+        for name, value in sorted(self.gauges.items()):
+            lines.append(f"gauge {name} = {value:.3f}")
         for name, stats in sorted(self.histograms.items()):
             rendered = ", ".join(f"{k}={v:.3f}" for k, v in stats.items())
             lines.append(f"histogram {name}: {rendered}")
@@ -248,6 +294,7 @@ class MetricsRegistry:
         self._counters: Dict[str, Counter] = {}
         self._meters: Dict[str, Meter] = {}
         self._histograms: Dict[str, Histogram] = {}
+        self._gauges: Dict[str, Gauge] = {}
         self._families: Dict[tuple, MetricFamily] = {}
         self._lock = threading.Lock()
 
@@ -288,6 +335,20 @@ class MetricsRegistry:
                 self._histograms[name] = Histogram(name, window_size)
             return self._histograms[name]
 
+    def gauge(self, name: str, fn=None) -> Gauge:
+        """Return (creating if needed) the gauge with ``name``.
+
+        ``fn``, when given on first registration, makes this a callback
+        gauge whose value is computed at read time.
+        """
+        gauge = self._gauges.get(name)
+        if gauge is not None:
+            return gauge
+        with self._lock:
+            if name not in self._gauges:
+                self._gauges[name] = Gauge(name, fn)
+            return self._gauges[name]
+
     def arm(self, prefix: str) -> ArmMetrics:
         """Resolve the request/error/latency handle bundle for one arm."""
         return ArmMetrics(self, prefix)
@@ -306,6 +367,10 @@ class MetricsRegistry:
         """A ``labels()``-addressed counter family under ``name``."""
         return self._family("counter", name, label)
 
+    def gauge_family(self, name: str, label: str = "stage") -> MetricFamily:
+        """A ``labels()``-addressed gauge family under ``name``."""
+        return self._family("gauge", name, label)
+
     def meter_family(self, name: str, label: str = "stage") -> MetricFamily:
         """A ``labels()``-addressed meter family under ``name``."""
         return self._family("meter", name, label)
@@ -323,6 +388,7 @@ class MetricsRegistry:
                 dict(self._counters),
                 dict(self._meters),
                 dict(self._histograms),
+                dict(self._gauges),
             )
 
     def snapshot(self) -> MetricsSnapshot:
@@ -343,7 +409,10 @@ class MetricsRegistry:
                         "p99": hist.p99(),
                         "max": hist.max(),
                     }
-        return MetricsSnapshot(counters=counters, meters=meters, histograms=histograms)
+            gauges = {n: g.value for n, g in self._gauges.items()}
+        return MetricsSnapshot(
+            counters=counters, meters=meters, histograms=histograms, gauges=gauges
+        )
 
     def reset(self) -> None:
         """Reset every metric in place (names are preserved)."""
@@ -354,6 +423,8 @@ class MetricsRegistry:
                 meter.reset()
             for histogram in self._histograms.values():
                 histogram.reset()
+            for gauge in self._gauges.values():
+                gauge.reset()
 
 
 def summarize_latencies(latencies_ms: Iterable[float]) -> Dict[str, float]:

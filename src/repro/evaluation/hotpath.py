@@ -37,6 +37,15 @@ scenarios isolate the framework cost per query:
     tracing disabled.  The paired "telemetry_on"/"telemetry_off" results
     prove the near-zero-cost requirement of the observability layer: an
     unsampled query pays one branch on a pre-resolved handle.
+``overload``
+    A flash crowd: unique inputs arrive in on/off bursts at ~5× the rate
+    the admission controller allows (:class:`~repro.core.config.OverloadConfig`
+    under the ``degrade`` shed policy, bounded batching queue).  Every
+    query must be answered — admitted ones through the model, shed ones
+    instantly with the default output — so the scenario is the evidence
+    for graceful degradation: bounded latency for admitted traffic, zero
+    unanswered queries, and shed counts visible in the Prometheus
+    exposition.
 ``http_predict``
     The ``cache_hit`` workload driven through the full REST edge: an
     :class:`~repro.api.http.HttpApiServer` on loopback TCP, queried by
@@ -423,6 +432,119 @@ async def run_http_predict_binary(
     return _result("http_predict_binary", elapsed, latencies)
 
 
+async def run_overload(num_queries: int = 2000) -> HotpathResult:
+    """Flash crowd against an admission-controlled application.
+
+    Unique inputs arrive on the :class:`~repro.workloads.arrivals.BurstyArrivals`
+    schedule with bursts at ~5× the admission controller's sustainable
+    rate.  The application runs the ``degrade`` shed policy over a bounded
+    batching queue, so overflow traffic is answered *immediately* with the
+    default output instead of queueing toward its SLO.
+
+    The scenario self-checks graceful degradation before returning:
+
+    * every query is answered (a prediction, degraded or not) — none hang
+      or fail,
+    * the flash crowd actually shed (at least one degraded answer), and
+    * the shed counters and the ``queue.saturation`` gauge appear in the
+      Prometheus exposition.
+
+    The returned latencies cover *answered* queries, which is all of them;
+    degraded answers resolve in microseconds, admitted ones cross the
+    batching layer within the SLO.
+    """
+    from repro.core.config import OverloadConfig
+    from repro.core.exceptions import OverloadError
+    from repro.observability.prometheus import render_prometheus
+    from repro.workloads.arrivals import BurstyArrivals
+
+    sustainable_qps = 800.0
+    clipper = Clipper(
+        ClipperConfig(
+            app_name="hotpath",
+            latency_slo_ms=BENCH_SLO_MS,
+            selection_policy="single",
+            default_output=0,
+            overload=OverloadConfig(
+                rate_limit_qps=sustainable_qps,
+                # Cap the burst allowance well under the workload size so the
+                # flash crowd actually drains the bucket even in --quick runs.
+                burst=min(int(sustainable_qps / 4), max(10, num_queries // 8)),
+                shed_policy="degrade",
+            ),
+        )
+    )
+    clipper.deploy_model(
+        ModelDeployment(
+            name="noop",
+            container_factory=lambda: NoOpContainer(output=1),
+            batching=BatchingConfig(
+                policy="aimd", initial_batch_size=4, max_queue_depth=256
+            ),
+        )
+    )
+    await clipper.start()
+    answered: List[float] = []
+    outcomes = {"ok": 0, "degraded": 0, "rejected": 0}
+    try:
+        rng = np.random.default_rng(6)
+        inputs = rng.standard_normal((num_queries, INPUT_FEATURES))
+        arrivals = BurstyArrivals(
+            burst_qps=5.0 * sustainable_qps,
+            idle_qps=sustainable_qps / 2.0,
+            random_state=6,
+        )
+        times = arrivals.arrival_times(num_queries)
+        start = time.perf_counter()
+
+        async def issue(i: int) -> None:
+            delay = times[i] - (time.perf_counter() - start)
+            if delay > 0:
+                await asyncio.sleep(delay)
+            t0 = time.perf_counter()
+            try:
+                prediction = await clipper.predict(
+                    Query(app_name="hotpath", input=inputs[i])
+                )
+            except OverloadError:
+                outcomes["rejected"] += 1
+                return
+            answered.append((time.perf_counter() - t0) * 1000.0)
+            if prediction.default_used:
+                outcomes["degraded"] += 1
+            else:
+                outcomes["ok"] += 1
+
+        await asyncio.gather(*(issue(i) for i in range(num_queries)))
+        elapsed = time.perf_counter() - start
+        if sum(outcomes.values()) != num_queries:
+            raise RuntimeError(
+                f"overload scenario lost queries: {outcomes} of {num_queries}"
+            )
+        if outcomes["rejected"]:
+            raise RuntimeError(
+                "overload scenario rejected queries under the degrade "
+                f"policy: {outcomes}"
+            )
+        if not outcomes["degraded"]:
+            raise RuntimeError(
+                "overload scenario never shed — the flash crowd did not "
+                f"exceed the admission rate: {outcomes}"
+            )
+        exposition = render_prometheus({"hotpath": clipper.metrics})
+        if "overload_shed_total" not in exposition:
+            raise RuntimeError(
+                "shed counters missing from the Prometheus exposition"
+            )
+        if "queue_saturation" not in exposition:
+            raise RuntimeError(
+                "queue.saturation gauge missing from the Prometheus exposition"
+            )
+    finally:
+        await clipper.stop()
+    return _result("overload", elapsed, answered)
+
+
 async def run_ensemble(num_queries: int = 3000, width: int = 4) -> HotpathResult:
     """Four-model ensemble, repeated input: per-model bookkeeping × width."""
     clipper = _ensemble_clipper(width=width)
@@ -502,6 +624,7 @@ def run_all(quick: bool = False) -> List[HotpathResult]:
         results.extend(
             [
                 await run_ensemble(num_queries=3000 // scale),
+                await run_overload(num_queries=2000 // scale),
                 await run_http_predict(num_queries=2000 // scale),
                 await run_http_predict_binary(num_queries=2000 // scale),
             ]

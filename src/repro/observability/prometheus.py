@@ -8,7 +8,8 @@ the renderer sanitises names, re-parses inline labels, and always adds an
 Mapping:
 
 * ``Counter`` → ``counter`` with the conventional ``_total`` suffix.
-* ``Meter``   → ``gauge`` (the windowed events/second rate).
+* ``Meter``   → ``gauge`` (the windowed events/second rate, ``_rate`` suffix).
+* ``Gauge``   → ``gauge`` (point-in-time value, no suffix).
 * ``Histogram`` → ``histogram`` with cumulative ``_bucket{le=...}`` lines
   plus ``_sum``/``_count`` — all computed over the *sliding window* of
   retained observations (the reservoir drops old samples, so these are
@@ -138,7 +139,7 @@ def render_prometheus(
         return buf
 
     for app, registry in registries.items():
-        counters, meters, histograms = registry.all_metrics()
+        counters, meters, histograms, gauges = registry.all_metrics()
         for raw, counter in counters.items():
             base, inline = _split_inline_label(raw)
             name = _metric_name(base, namespace, "_total")
@@ -160,6 +161,16 @@ def render_prometheus(
             )
             buf.samples.append(
                 f"{name}{_render_labels(labels)} {_format_value(meter.rate())}"
+            )
+        for raw, gauge in gauges.items():
+            base, inline = _split_inline_label(raw)
+            name = _metric_name(base, namespace)
+            labels = {"app": app}
+            if inline:
+                labels[_NAME_SANITISE.sub("_", inline[0])] = inline[1]
+            buf = family(name, "gauge", f"Gauge {base} from MetricsRegistry.")
+            buf.samples.append(
+                f"{name}{_render_labels(labels)} {_format_value(gauge.value)}"
             )
         for raw, histogram in histograms.items():
             base, inline = _split_inline_label(raw)

@@ -1,0 +1,22 @@
+"""Overload control: admission gating, load shedding and circuit breaking.
+
+This package is the fast, local protection layer under the slower global
+control loops (the `HealthMonitor`'s quarantine, the future autoscaler):
+it decides in microseconds whether a query is admitted, shed, degraded to
+the default output, or fast-failed past a tripped model — so the latency
+SLO survives flash crowds and sick models alike.
+
+* :class:`AdmissionController` — per-application token-bucket + concurrency
+  gate applied at the first cache miss (cache hits never pay for it).
+* :class:`CircuitBreaker` — per-model closed/open/half-open breaker on
+  error-rate and consecutive-timeout thresholds.
+
+Configuration lives beside the rest of the engine's knobs in
+:mod:`repro.core.config` (:class:`~repro.core.config.OverloadConfig`,
+:class:`~repro.core.config.CircuitBreakerConfig`).
+"""
+
+from repro.overload.admission import AdmissionController
+from repro.overload.breaker import CircuitBreaker
+
+__all__ = ["AdmissionController", "CircuitBreaker"]

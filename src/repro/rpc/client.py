@@ -42,6 +42,7 @@ class RpcClient:
         metadata: Optional[dict] = None,
         trace: Optional[List[Any]] = None,
         span_log: Optional[list] = None,
+        deadlines: Optional[List[float]] = None,
     ) -> RpcResponse:
         """Send one batch and wait for the aligned batch of outputs.
 
@@ -50,7 +51,10 @@ class RpcClient:
         batch can be sent while earlier batches are still being evaluated.
 
         ``trace`` carries the trace ids of traced queries in the batch (the
-        optional wire header); ``span_log``, when given, receives
+        optional wire header); ``deadlines`` carries per-entry absolute
+        monotonic deadlines (0.0 = none) the server may use to skip
+        already-expired entries, reported back via ``response.skipped``;
+        ``span_log``, when given, receives
         ``("rpc.send"/"rpc.wait", t0, t1, None)`` monotonic span tuples for
         the send and response-wait legs of this exchange.
         """
@@ -62,14 +66,16 @@ class RpcClient:
             inputs=inputs,
             metadata=metadata or {},
             trace=tuple(trace) if trace else (),
+            deadlines=tuple(deadlines) if deadlines else (),
         )
         payload = await self._exchange(
             request.request_id, request.to_payload(), span_log=span_log
         )
         response = RpcResponse.from_payload(payload)
-        if response.ok and len(response.outputs) != len(inputs):
+        if response.ok and len(response.outputs) + len(response.skipped) != len(inputs):
             raise RpcError(
                 f"container returned {len(response.outputs)} outputs "
+                f"and {len(response.skipped)} skips "
                 f"for a batch of {len(inputs)} inputs"
             )
         return response

@@ -58,6 +58,12 @@ class RpcRequest:
     #: Optional header field: omitted from the wire payload when empty, so
     #: untraced batches pay zero extra bytes.
     trace: tuple = ()
+    #: Absolute ``time.monotonic()`` deadlines aligned with ``inputs``
+    #: (0.0 = no deadline for that entry).  Optional header field like
+    #: ``trace``: omitted from the wire when no entry carries a deadline, so
+    #: deadline-free batches pay zero extra bytes.  Lets the container skip
+    #: evaluating entries whose deadline already passed in transit.
+    deadlines: tuple = ()
 
     def to_payload(self) -> dict:
         # ``inputs`` is shared, not copied: receivers copy in from_payload,
@@ -71,6 +77,8 @@ class RpcRequest:
         }
         if self.trace:
             payload["trace"] = list(self.trace)
+        if self.deadlines:
+            payload["deadlines"] = list(self.deadlines)
         return payload
 
     @staticmethod
@@ -81,6 +89,7 @@ class RpcRequest:
             inputs=list(payload["inputs"]),
             metadata=dict(payload.get("metadata", {})),
             trace=tuple(payload.get("trace", ())),
+            deadlines=tuple(payload.get("deadlines", ())),
         )
 
 
@@ -97,6 +106,10 @@ class RpcResponse:
     trace: tuple = ()
     eval_start: float = 0.0
     eval_end: float = 0.0
+    #: Request indices the container declined to evaluate because their
+    #: deadline had already expired on arrival.  ``outputs`` holds results
+    #: for the remaining indices in order; omitted from the wire when empty.
+    skipped: tuple = ()
 
     @property
     def ok(self) -> bool:
@@ -115,6 +128,8 @@ class RpcResponse:
         if self.eval_end:
             payload["eval_start"] = float(self.eval_start)
             payload["eval_end"] = float(self.eval_end)
+        if self.skipped:
+            payload["skipped"] = list(self.skipped)
         return payload
 
     @staticmethod
@@ -127,6 +142,7 @@ class RpcResponse:
             trace=tuple(payload.get("trace", ())),
             eval_start=float(payload.get("eval_start", 0.0)),
             eval_end=float(payload.get("eval_end", 0.0)),
+            skipped=tuple(payload.get("skipped", ())),
         )
 
 

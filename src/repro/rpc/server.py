@@ -106,23 +106,45 @@ class ContainerRpcServer:
         traced = bool(request.trace)
         eval_start = time.monotonic() if traced else 0.0
         start = time.perf_counter()
+        inputs = request.inputs
+        skipped: tuple = ()
+        if request.deadlines:
+            # Deadline propagation: entries whose absolute deadline already
+            # passed in transit are answered as ``skipped`` instead of
+            # computing results nobody is waiting for.  A fully-expired
+            # batch skips the container call entirely.
+            now = time.monotonic()
+            expired = [
+                i
+                for i, deadline in enumerate(request.deadlines[: len(inputs)])
+                if deadline and deadline <= now
+            ]
+            if expired:
+                skipped = tuple(expired)
+                expired_set = set(expired)
+                inputs = [x for i, x in enumerate(inputs) if i not in expired_set]
         try:
-            if self._use_executor:
+            if not inputs:
+                outputs: list = []
+            elif self._use_executor:
                 loop = asyncio.get_event_loop()
-                outputs = await loop.run_in_executor(
-                    None, self._container.predict_batch, request.inputs
+                outputs = list(
+                    await loop.run_in_executor(
+                        None, self._container.predict_batch, inputs
+                    )
                 )
             else:
-                outputs = self._container.predict_batch(request.inputs)
+                outputs = list(self._container.predict_batch(inputs))
             latency_ms = (time.perf_counter() - start) * 1000.0
             self.requests_served += 1
             return RpcResponse(
                 request_id=request.request_id,
-                outputs=list(outputs),
+                outputs=outputs,
                 container_latency_ms=latency_ms,
                 trace=request.trace,
                 eval_start=eval_start,
                 eval_end=time.monotonic() if traced else 0.0,
+                skipped=skipped,
             )
         except Exception as exc:  # container failures must not kill the server
             latency_ms = (time.perf_counter() - start) * 1000.0

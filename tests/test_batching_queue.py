@@ -148,3 +148,126 @@ class TestPendingQuery:
             assert not no_deadline.expired()
 
         run_async(scenario())
+
+
+class TestBoundedQueueClose:
+    def test_put_raises_promptly_when_closed_while_waiting(self):
+        """Regression: a producer parked on a full bounded queue must raise
+        as soon as the queue closes, not wait for space that never frees."""
+
+        async def scenario():
+            queue = BatchingQueue(maxsize=1)
+            await queue.put(make_item(0))
+
+            async def blocked_put():
+                await queue.put(make_item(1))
+
+            task = asyncio.get_event_loop().create_task(blocked_put())
+            await asyncio.sleep(0.01)  # let the producer park
+            assert not task.done()
+            queue.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                await asyncio.wait_for(task, timeout=1.0)
+
+        run_async(scenario())
+
+    def test_put_raises_when_woken_by_space_on_closed_queue(self):
+        async def scenario():
+            queue = BatchingQueue(maxsize=1)
+            await queue.put(make_item(0))
+
+            async def blocked_put():
+                await queue.put(make_item(1))
+
+            task = asyncio.get_event_loop().create_task(blocked_put())
+            await asyncio.sleep(0.01)
+            # Close first, then free space: the woken producer must still
+            # observe closed and raise instead of enqueueing.
+            queue.close()
+            queue.evict_expiring()
+            with pytest.raises(RuntimeError, match="closed"):
+                await asyncio.wait_for(task, timeout=1.0)
+            assert queue.qsize() == 0
+
+        run_async(scenario())
+
+
+class TestEvictExpiring:
+    def test_empty_queue_returns_none(self):
+        async def scenario():
+            queue = BatchingQueue()
+            assert queue.evict_expiring() is None
+
+        run_async(scenario())
+
+    def test_prefers_earliest_deadline(self):
+        async def scenario():
+            queue = BatchingQueue()
+            now = time.monotonic()
+            await queue.put(make_item("late", deadline=now + 5.0))
+            await queue.put(make_item("soon", deadline=now + 0.1))
+            await queue.put(make_item("mid", deadline=now + 1.0))
+            victim = queue.evict_expiring()
+            assert victim.input == "soon"
+            assert queue.qsize() == 2
+
+        run_async(scenario())
+
+    def test_falls_back_to_oldest_without_deadlines(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item("first"))
+            await queue.put(make_item("second"))
+            victim = queue.evict_expiring()
+            assert victim.input == "first"
+
+        run_async(scenario())
+
+    def test_deadline_carrying_item_beats_older_deadline_free_one(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item("old-no-deadline"))
+            await queue.put(make_item("deadline", deadline=time.monotonic() + 9.0))
+            victim = queue.evict_expiring()
+            assert victim.input == "deadline"
+
+        run_async(scenario())
+
+    def test_eviction_wakes_blocked_putter(self):
+        async def scenario():
+            queue = BatchingQueue(maxsize=1)
+            await queue.put(make_item("victim", deadline=time.monotonic() + 1.0))
+
+            async def blocked_put():
+                await queue.put(make_item("replacement"))
+
+            task = asyncio.get_event_loop().create_task(blocked_put())
+            await asyncio.sleep(0.01)
+            victim = queue.evict_expiring()
+            assert victim.input == "victim"
+            await asyncio.wait_for(task, timeout=1.0)
+            assert queue.qsize() == 1
+
+        run_async(scenario())
+
+
+class TestSaturation:
+    def test_unbounded_queue_reports_zero(self):
+        async def scenario():
+            queue = BatchingQueue()
+            await queue.put(make_item(1))
+            assert queue.saturation() == 0.0
+
+        run_async(scenario())
+
+    def test_bounded_queue_reports_fill_fraction(self):
+        async def scenario():
+            queue = BatchingQueue(maxsize=4)
+            assert queue.saturation() == 0.0
+            await queue.put(make_item(1))
+            assert queue.saturation() == pytest.approx(0.25)
+            for i in range(3):
+                await queue.put(make_item(i))
+            assert queue.saturation() == 1.0
+
+        run_async(scenario())

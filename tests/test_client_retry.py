@@ -185,3 +185,166 @@ class TestConnectionRetry:
 
         error = run_async(scenario())
         assert not isinstance(error, RetryBudgetExceeded)
+
+
+class _SheddingServer:
+    """Answers the first N requests with a 429 + ``Retry-After``, then 200.
+
+    Models an overloaded server shedding under admission control: the shed
+    response is complete and well-formed, so re-issuing (even a POST) is
+    safe — the server never executed the request.
+    """
+
+    def __init__(self, sheds: int, retry_after: str = "0", status: int = 429) -> None:
+        self.sheds = sheds
+        self.retry_after = retry_after
+        self.status = status
+        self.requests = 0
+        self._server = None
+        self.port = None
+
+    async def __aenter__(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        self.port = self._server.sockets[0].getsockname()[1]
+        return self
+
+    async def __aexit__(self, *exc_info):
+        self._server.close()
+        await self._server.wait_closed()
+
+    async def _handle(self, reader, writer):
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                length = 0
+                while True:
+                    header = await reader.readline()
+                    if header in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = header.decode().partition(":")
+                    if name.strip().lower() == "content-length":
+                        length = int(value.strip())
+                if length:
+                    await reader.readexactly(length)
+                self.requests += 1
+                if self.requests <= self.sheds:
+                    body = json.dumps(
+                        {"error": {"code": "overloaded", "status": self.status,
+                                   "message": "shed", "detail": {}}}
+                    ).encode()
+                    reason = {429: "Too Many Requests", 503: "Service Unavailable"}
+                    writer.write(
+                        f"HTTP/1.1 {self.status} {reason.get(self.status, 'Error')}\r\n"
+                        f"Retry-After: {self.retry_after}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+                    )
+                else:
+                    body = json.dumps({"ok": True}).encode()
+                    writer.write(
+                        b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+                        + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                        + body
+                    )
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+
+class TestRetryAfter:
+    def test_post_retries_429_until_success(self):
+        """A shed POST is safe to re-issue: the server answered without
+        executing it.  The client honors Retry-After and succeeds."""
+
+        async def scenario():
+            async with _SheddingServer(sheds=2, retry_after="0") as server:
+                conn = _HttpConnection(
+                    "127.0.0.1", server.port, retry_policy=fast_policy(4)
+                )
+                status, payload = await conn.request(
+                    "POST", "/api/v1/app/predict", {"input": [1.0]}
+                )
+                await conn.close()
+                return status, payload, server.requests
+
+        status, payload, requests = run_async(scenario())
+        assert status == 200
+        assert payload == {"ok": True}
+        assert requests == 3
+
+    def test_503_with_retry_after_also_retries(self):
+        async def scenario():
+            async with _SheddingServer(
+                sheds=1, retry_after="0", status=503
+            ) as server:
+                conn = _HttpConnection(
+                    "127.0.0.1", server.port, retry_policy=fast_policy(3)
+                )
+                status, _ = await conn.request("GET", "/api/v1/health")
+                await conn.close()
+                return status, server.requests
+
+        status, requests = run_async(scenario())
+        assert status == 200
+        assert requests == 2
+
+    def test_retry_after_capped_at_policy_max_delay(self):
+        """A pathological Retry-After (hours) must not stall the caller
+        beyond the policy's own max delay."""
+
+        async def scenario():
+            async with _SheddingServer(sheds=1, retry_after="3600") as server:
+                policy = RetryPolicy(
+                    max_attempts=2, base_delay_s=0.001,
+                    max_delay_s=0.05, jitter=0.0,
+                )
+                conn = _HttpConnection("127.0.0.1", server.port, retry_policy=policy)
+                import time as _time
+
+                t0 = _time.perf_counter()
+                status, _ = await conn.request("GET", "/api/v1/health")
+                elapsed = _time.perf_counter() - t0
+                await conn.close()
+                return status, elapsed
+
+        status, elapsed = run_async(scenario())
+        assert status == 200
+        assert elapsed < 2.0  # not the 3600 s the server asked for
+
+    def test_exhausted_budget_surfaces_final_429(self):
+        """When every attempt is shed, the caller gets the last 429 payload
+        (mapped to ServiceOverloaded at the client layer), not a hang."""
+
+        async def scenario():
+            async with _SheddingServer(sheds=100, retry_after="0") as server:
+                conn = _HttpConnection(
+                    "127.0.0.1", server.port, retry_policy=fast_policy(3)
+                )
+                status, payload = await conn.request("GET", "/api/v1/health")
+                await conn.close()
+                return status, payload, server.requests
+
+        status, payload, requests = run_async(scenario())
+        assert status == 429
+        assert requests == 3  # the full budget, then surface the response
+        from repro.client.client import ServiceOverloaded, error_from_response
+
+        error = error_from_response(status, payload)
+        assert isinstance(error, ServiceOverloaded)
+        assert error.code == "overloaded"
+
+    def test_unparsable_retry_after_falls_back_to_backoff(self):
+        async def scenario():
+            async with _SheddingServer(sheds=1, retry_after="soon") as server:
+                conn = _HttpConnection(
+                    "127.0.0.1", server.port, retry_policy=fast_policy(3)
+                )
+                status, _ = await conn.request("GET", "/api/v1/health")
+                await conn.close()
+                return status
+
+        assert run_async(scenario()) == 200
