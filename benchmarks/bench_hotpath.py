@@ -4,9 +4,11 @@ Unlike the figure benchmarks (which reproduce the paper's evaluation), this
 benchmark measures the reproduction's own serving hot path — cache-hit,
 cache-miss (plain, serialized wide, and over the TCP / shared-memory replica
 transports), ensemble, overload flash-crowd, REST-edge (``http_predict``
-and its binary columnar twin ``http_predict_binary``) and
-telemetry-overhead scenarios through a full Clipper instance with no-op
-containers — so perf-focused PRs have a number to move.  Run with::
+and its binary columnar twin ``http_predict_binary``), the cluster scaling
+pair (``cluster_http_1worker`` / ``cluster_http_2workers``: worker daemons
+as real child processes behind an ingress tier) and telemetry-overhead
+scenarios through a full Clipper instance with no-op containers — so
+perf-focused PRs have a number to move.  Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_hotpath.py -s -q
 
@@ -47,6 +49,14 @@ def test_hotpath_scenarios():
     assert by_name["ensemble"].qps > 100.0
     assert by_name["http_predict"].qps > 20.0
     assert by_name["http_predict_binary"].qps > 20.0
+    assert by_name["cluster_http_1worker"].qps > 100.0
+    # Two worker daemons must outscale one.  The acceptance ratio for the
+    # recorded medians is 1.5x; the in-test floor is looser because quick
+    # mode runs only ~200 queries and short cluster runs jitter.
+    assert (
+        by_name["cluster_http_2workers"].qps
+        > 1.2 * by_name["cluster_http_1worker"].qps
+    )
     # The overload flash crowd self-checks zero unanswered queries inside
     # run_overload (it raises otherwise); the floor here bounds the tail for
     # answered traffic — shed answers resolve instantly and admitted ones

@@ -6,7 +6,8 @@ cache-miss, serialized wide cache-miss — in-process, over loopback TCP and
 over the shared-memory ring transport — four-model ensemble, the
 ``overload`` flash crowd against an admission-controlled application, the
 REST edge ``http_predict`` plus its binary columnar twin
-``http_predict_binary``, and the telemetry-overhead A/B pair) through a full
+``http_predict_binary``, the cluster scaling pair ``cluster_http_1worker`` /
+``cluster_http_2workers``, and the telemetry-overhead A/B pair) through a full
 :class:`repro.core.clipper.Clipper` instance with no-op containers, and
 records p50/p99 latency and QPS per scenario so successive PRs have a perf
 trajectory to compare against.
@@ -30,6 +31,8 @@ layout is::
         "overload": {...},
         "http_predict": {...},
         "http_predict_binary": {...},
+        "cluster_http_1worker": {...},
+        "cluster_http_2workers": {...},
         "telemetry_on": {...},
         "telemetry_off": {...}
       }
@@ -47,7 +50,10 @@ the shared-memory ring (``cache_miss_shm`` is omitted on platforms without
 (HTTP framing, JSON codec, schema validation) against the in-process
 cache_hit, and ``http_predict_binary`` replays it over the binary columnar
 content type — the http_predict_binary/http_predict ratio is the measured
-payoff of the binary wire format.
+payoff of the binary wire format.  The ``cluster_http_1worker`` /
+``cluster_http_2workers`` pair runs a device-bound model on worker daemon
+child processes behind the cluster ingress tier; the 2-worker/1-worker qps
+ratio is the cluster-scaling acceptance number and must exceed 1.5x.
 The ``telemetry_on``/``telemetry_off`` pair prices the tracing layer at its
 default 1/256 sampling against tracing disabled; the ratio must stay within
 a few percent of 1.0.

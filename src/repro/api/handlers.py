@@ -26,7 +26,7 @@ from repro.api.errors import RouteNotFoundError
 from repro.api.routes import API_PREFIX, ApiResponse, RouteTable
 from repro.api.schema import json_safe, require_field, require_object
 from repro.core.config import BatchingConfig, ModelDeployment
-from repro.core.exceptions import BadRequestError
+from repro.core.exceptions import BadRequestError, ConfigurationError
 from repro.core.frontend import QueryFrontend
 from repro.core.types import Prediction
 from repro.management.frontend import ManagementFrontend
@@ -284,13 +284,18 @@ def build_route_table(
                 kwargs["serialize_rpc"] = bool(payload["serialize_rpc"])
             if "max_batch_retries" in payload:
                 kwargs["max_batch_retries"] = _require_int(payload, "max_batch_retries")
-            return ModelDeployment(
-                name=_require_str(payload, "model_name"),
-                container_factory=factory,
-                batching=batching,
-                factory_name=factory_name,
-                **kwargs,
-            )
+            if "transport" in payload:
+                kwargs["transport"] = _require_str(payload, "transport")
+            try:
+                return ModelDeployment(
+                    name=_require_str(payload, "model_name"),
+                    container_factory=factory,
+                    batching=batching,
+                    factory_name=factory_name,
+                    **kwargs,
+                )
+            except ConfigurationError as exc:
+                raise BadRequestError(str(exc)) from None
 
         async def post_deploy(params: Dict[str, str], body: Any) -> ApiResponse:
             payload = require_object(body)

@@ -144,6 +144,11 @@ class HttpApiServer:
         self._keep_alive_timeout_s = keep_alive_timeout_s
         self._server: Optional[asyncio.base_events.Server] = None
         self._writers: set = set()
+        self._draining = False
+        self._inflight = 0
+        # Set whenever no request is mid-dispatch; drain() waits on it.
+        self._idle = asyncio.Event()
+        self._idle.set()
         self._encoders: Dict[str, Callable[[Any], bytes]] = {
             JSON_CONTENT_TYPE: _encode_json
         }
@@ -239,6 +244,24 @@ class HttpApiServer:
                     pass  # surface the original failure, not the unwind
             raise
 
+    async def drain(self, timeout_s: float = 5.0) -> None:
+        """Graceful SIGTERM path: stop accepting, finish in-flight, stop.
+
+        The listening socket closes immediately (new connections are
+        refused), responses currently being computed or written are allowed
+        up to ``timeout_s`` to complete — requests answered while draining
+        carry ``Connection: close`` — and then the ordinary :meth:`stop`
+        teardown runs, which also hangs up idle keep-alive connections.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            pass
+        await self.stop()
+
     async def stop(self) -> None:
         """Close the listener and connections, then managers, then applications."""
         if self._server is not None:
@@ -293,18 +316,25 @@ class HttpApiServer:
                 if request is None:
                     break  # client closed cleanly between requests
                 method, path, query_string, headers, body_bytes = request
-                keep_alive = self._wants_keep_alive(headers)
-                status, body, content_type, extra_headers = await self._dispatch(
-                    method, path, query_string, headers, body_bytes
-                )
-                await self._write_response(
-                    writer,
-                    status,
-                    body,
-                    content_type,
-                    keep_alive=keep_alive,
-                    extra_headers=extra_headers,
-                )
+                keep_alive = self._wants_keep_alive(headers) and not self._draining
+                self._inflight += 1
+                self._idle.clear()
+                try:
+                    status, body, content_type, extra_headers = await self._dispatch(
+                        method, path, query_string, headers, body_bytes
+                    )
+                    await self._write_response(
+                        writer,
+                        status,
+                        body,
+                        content_type,
+                        keep_alive=keep_alive,
+                        extra_headers=extra_headers,
+                    )
+                finally:
+                    self._inflight -= 1
+                    if self._inflight == 0:
+                        self._idle.set()
                 if not keep_alive:
                     break
         except (

@@ -655,6 +655,7 @@ class AsyncAdminClient(_BaseAsyncClient):
         batching: Optional[Dict[str, Any]] = None,
         serialize_rpc: Optional[bool] = None,
         activate: Optional[bool] = None,
+        transport: Optional[str] = None,
     ) -> Dict[str, Any]:
         """Deploy a model version built from a server-registered factory."""
         body: Dict[str, Any] = {"model_name": model_name, "factory": factory}
@@ -668,6 +669,8 @@ class AsyncAdminClient(_BaseAsyncClient):
             body["serialize_rpc"] = serialize_rpc
         if activate is not None:
             body["activate"] = activate
+        if transport is not None:
+            body["transport"] = transport
         return await self._call(
             "POST", f"{API_PREFIX}/admin/{app_name}/deploy", body
         )

@@ -1,0 +1,62 @@
+"""Cluster serving plane: worker daemons, an ingress tier, and a supervisor.
+
+This package promotes the single-process serving engine into the paper's
+actual deployment shape (Figure 1): model containers live in separate
+**worker** OS processes behind :class:`~repro.rpc.server.ContainerRpcServer`,
+an **ingress** process runs the HTTP edge plus a
+:class:`~repro.core.clipper.Clipper` whose replica sets attach to *remote*
+worker replicas, and a **supervisor** spawns and monitors the fleet.
+
+The pieces:
+
+* :mod:`repro.cluster.registry` — the shared on-disk worker registry.
+  Workers advertise their endpoints (tcp port, shm capability) by writing
+  durable announcement records and refreshing them as heartbeats; the
+  ingress resolves live workers from the same directory.
+* :mod:`repro.cluster.worker` — the worker daemon.  One process hosting
+  model containers built from a named factory registry, serving each over
+  the container RPC protocol (tcp, or same-host shared-memory rings).
+* :mod:`repro.cluster.remote` — :class:`RemoteReplica` /
+  :class:`RemoteReplicaSet` / :class:`WorkerPlacer`: drop-in replacements
+  for the in-process replica machinery that place container replicas on
+  live workers, so the existing batching dispatchers, health monitor and
+  admin verbs (deploy/scale/rollout/canary) drive cluster placements
+  unchanged.
+* :mod:`repro.cluster.ingress` — builds/runs the ingress tier process.
+* :mod:`repro.cluster.supervisor` — spawns N workers + 1 ingress,
+  restarts dead workers, drains everything on SIGTERM
+  (``scripts/cluster_up.py`` is the CLI).
+"""
+
+# Lazy exports (PEP 562): ``python -m repro.cluster.worker`` imports this
+# package before runpy executes the worker module as __main__, so importing
+# the submodules eagerly here would execute them twice (and warn).
+_EXPORTS = {
+    "WorkerAnnouncement": "repro.cluster.registry",
+    "WorkerRegistry": "repro.cluster.registry",
+    "RemoteReplica": "repro.cluster.remote",
+    "RemoteReplicaSet": "repro.cluster.remote",
+    "WorkerPlacer": "repro.cluster.remote",
+    "Supervisor": "repro.cluster.supervisor",
+    "WorkerDaemon": "repro.cluster.worker",
+}
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.cluster' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+__all__ = [
+    "RemoteReplica",
+    "RemoteReplicaSet",
+    "Supervisor",
+    "WorkerAnnouncement",
+    "WorkerDaemon",
+    "WorkerPlacer",
+    "WorkerRegistry",
+]

@@ -1,0 +1,320 @@
+"""Remote replica placement: the cluster-side twin of the replica machinery.
+
+:class:`RemoteReplica` and :class:`RemoteReplicaSet` duck-type
+:class:`~repro.containers.replica.ContainerReplica` /
+:class:`~repro.containers.replica.ReplicaSet` exactly, so the batching
+dispatchers, the health monitor, and every admin verb (deploy / scale /
+rollout / canary) drive cluster placements without change.  The difference
+is where the container lives: instead of building one in-process, a remote
+replica asks a live worker daemon (resolved from the shared
+:class:`~repro.cluster.registry.WorkerRegistry` by :class:`WorkerPlacer`)
+to launch the container from a *named* factory, then speaks the ordinary
+container RPC protocol to it over tcp — or, same-host, over shared-memory
+rings negotiated automatically.
+
+Failure semantics mirror the local set where the health monitor depends on
+them: membership errors raise :class:`~repro.core.exceptions.ContainerError`
+(``_recover`` treats that as "scaled away" and aborts), while *placement*
+failure — no live worker in the registry — raises
+:class:`~repro.core.exceptions.RpcError`, which ``_recover`` treats as
+transient and retries with backoff until a worker comes back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, List, Optional, Sequence
+
+from repro.cluster.registry import DEFAULT_TTL_S, WorkerAnnouncement, WorkerRegistry
+from repro.core.exceptions import ContainerError, RpcError
+from repro.core.types import ModelId
+from repro.rpc.client import RpcClient
+from repro.rpc.protocol import RpcResponse
+from repro.rpc.shm import HAS_SHARED_MEMORY, attach_shm_endpoint
+from repro.rpc.transport import TcpTransport
+
+#: How long a remote replica waits for the worker's launch reply.
+LAUNCH_TIMEOUT_S = 10.0
+
+
+class WorkerPlacer:
+    """Round-robin placement of replicas onto live registered workers."""
+
+    def __init__(self, registry: WorkerRegistry, ttl_s: float = DEFAULT_TTL_S) -> None:
+        self.registry = registry
+        self.ttl_s = ttl_s
+        self._round_robin = 0
+
+    def place(self, exclude: Sequence[str] = ()) -> WorkerAnnouncement:
+        """Pick a live worker, preferring ones not in ``exclude``.
+
+        ``exclude`` lists workers believed dead or sick (e.g. the worker a
+        replica just failed on); they are only used when no other worker is
+        live.  Raises :class:`RpcError` — the *retryable* error class — when
+        the registry has no live worker at all, so health-driven recovery
+        keeps retrying until one appears instead of giving up.
+        """
+        live = self.registry.live_workers(self.ttl_s)
+        if not live:
+            raise RpcError("no live workers in the cluster registry")
+        preferred = [w for w in live if w.worker_id not in exclude] or live
+        worker = preferred[self._round_robin % len(preferred)]
+        self._round_robin += 1
+        return worker
+
+
+def _resolve_lane(worker: WorkerAnnouncement, preference: str) -> tuple:
+    """(lane, forced) for a replica placed on ``worker``.
+
+    ``preference`` is the deployment's ``transport`` field.  ``"tcp"`` and
+    ``"shm"`` force that lane; anything else (the in-process default) means
+    *auto*: shared-memory rings when the worker advertises shm support and
+    shares this host, tcp otherwise — the cross-host fallback the paper's
+    same-machine fast path needs.
+    """
+    shm_ok = worker.shm_supported and worker.same_host_as() and HAS_SHARED_MEMORY
+    if preference == "tcp":
+        return "tcp", True
+    if preference == "shm":
+        if not shm_ok:
+            raise RpcError(
+                f"transport 'shm' was forced but worker {worker.worker_id} "
+                "cannot serve shared memory from this host"
+            )
+        return "shm", True
+    return ("shm", False) if shm_ok else ("tcp", False)
+
+
+class RemoteReplica:
+    """One replica of a model, hosted by a worker daemon in another process.
+
+    Duck-types :class:`~repro.containers.replica.ContainerReplica`:
+    ``start`` / ``stop`` / ``predict_batch`` / ``check_health`` /
+    ``started`` / ``name`` / ``model_id`` / ``replica_id``.  ``start``
+    connects to the worker's control port, asks it to launch the container
+    from ``factory_name``, and keeps the resulting connection as the data
+    lane; ``stop`` simply closes it — the worker tears the container down
+    when its end of the lane goes quiet.
+    """
+
+    def __init__(
+        self,
+        model_id: ModelId,
+        replica_id: int,
+        worker: WorkerAnnouncement,
+        factory_name: str,
+        transport: str = "inprocess",
+        rpc_timeout_s: Optional[float] = 30.0,
+    ) -> None:
+        self.model_id = model_id
+        self.replica_id = replica_id
+        self.worker = worker
+        self.factory_name = factory_name
+        self._model_key = str(model_id)
+        self._lane, self._forced = _resolve_lane(worker, transport)
+        self._rpc_timeout_s = rpc_timeout_s
+        self.client: Optional[RpcClient] = None
+        self._started = False
+
+    @property
+    def transport_lane(self) -> str:
+        """The negotiated RPC lane ("shm" or "tcp")."""
+        return self._lane
+
+    async def _launch(self, lane: str) -> RpcClient:
+        """Ask the worker to launch the container; return the data client."""
+        control = await TcpTransport.connect(self.worker.tcp_host, self.worker.tcp_port)
+        try:
+            async with asyncio.timeout(LAUNCH_TIMEOUT_S):
+                await control.send(
+                    {
+                        "op": "launch",
+                        "model_key": self._model_key,
+                        "factory": self.factory_name,
+                        "transport": lane,
+                        "replica": self.name,
+                    }
+                )
+                reply = await control.recv()
+        except (RpcError, TimeoutError) as exc:
+            await control.close()
+            raise RpcError(
+                f"worker {self.worker.worker_id} did not answer launch: {exc}"
+            ) from exc
+        if not reply.get("ok"):
+            await control.close()
+            raise RpcError(
+                f"worker {self.worker.worker_id} refused to launch "
+                f"{self._model_key}: {reply.get('error', 'unknown error')}"
+            )
+        if lane == "shm":
+            try:
+                data = await attach_shm_endpoint(reply["shm"])
+            finally:
+                await control.close()
+        else:
+            # The control connection *is* the data connection on the tcp lane.
+            data = control
+        return RpcClient(data, timeout_s=self._rpc_timeout_s)
+
+    async def start(self) -> None:
+        """Launch the container on the worker and open the data lane."""
+        if self._started:
+            return
+        try:
+            self.client = await self._launch(self._lane)
+        except RpcError:
+            if self._lane != "shm" or self._forced:
+                raise
+            # Auto-negotiated shm failed (worker restarted without shm, bell
+            # race, ...) — fall back to the tcp lane rather than fail the
+            # replica, matching the cross-host behaviour.
+            self._lane = "tcp"
+            self.client = await self._launch("tcp")
+        self._started = True
+
+    async def stop(self) -> None:
+        """Close the data lane; the worker reaps the container on hangup."""
+        if self._started:
+            self._started = False
+            await self.client.close()
+
+    async def predict_batch(
+        self,
+        inputs: Sequence[Any],
+        trace: Optional[List[Any]] = None,
+        span_log: Optional[list] = None,
+        deadlines: Optional[List[float]] = None,
+    ) -> RpcResponse:
+        """Evaluate one batch on the remote container (pipelining-safe)."""
+        if not self._started:
+            raise ContainerError(self._model_key, "replica is not started")
+        inputs = inputs if isinstance(inputs, list) else list(inputs)
+        return await self.client.predict(
+            self._model_key, inputs, trace=trace, span_log=span_log,
+            deadlines=deadlines,
+        )
+
+    async def check_health(self, timeout_s: Optional[float] = None) -> bool:
+        """Heartbeat the remote container; False on any failure path."""
+        if not self._started:
+            return False
+        try:
+            return await self.client.heartbeat(timeout_s=timeout_s)
+        except RpcError:
+            return False
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    @property
+    def name(self) -> str:
+        return f"{self.model_id}[{self.replica_id}]@{self.worker.worker_id}"
+
+
+class RemoteReplicaSet:
+    """All remote replicas of one deployed model, spread across workers.
+
+    Mirrors :class:`~repro.containers.replica.ReplicaSet`'s contract:
+    monotonic replica ids, ``remove_replica`` refuses to empty the set,
+    ``replace_replica`` returns an *unstarted* fresh replica with the same
+    id — but the fresh replica is re-placed, preferring a worker other
+    than the one the sick replica ran on.
+    """
+
+    def __init__(
+        self,
+        model_id: ModelId,
+        factory_name: str,
+        placer: WorkerPlacer,
+        num_replicas: int = 1,
+        transport: str = "inprocess",
+        rpc_timeout_s: Optional[float] = 30.0,
+    ) -> None:
+        if num_replicas < 1:
+            raise ContainerError(str(model_id), "num_replicas must be >= 1")
+        if not factory_name:
+            raise ContainerError(
+                str(model_id),
+                "remote placement needs a named container factory "
+                "(deployment.factory_name) the worker can resolve",
+            )
+        self.model_id = model_id
+        self.factory_name = factory_name
+        self._placer = placer
+        self._transport = transport
+        self._rpc_timeout_s = rpc_timeout_s
+        self._next_replica_id = 0
+        self.replicas: List[RemoteReplica] = []
+        for _ in range(num_replicas):
+            self.add_replica()
+
+    def _build_replica(
+        self, replica_id: int, exclude: Sequence[str] = ()
+    ) -> RemoteReplica:
+        worker = self._placer.place(exclude=exclude)
+        return RemoteReplica(
+            model_id=self.model_id,
+            replica_id=replica_id,
+            worker=worker,
+            factory_name=self.factory_name,
+            transport=self._transport,
+            rpc_timeout_s=self._rpc_timeout_s,
+        )
+
+    def add_replica(self) -> RemoteReplica:
+        """Place (but do not start) one more replica and return it."""
+        replica = self._build_replica(self._next_replica_id)
+        self._next_replica_id += 1
+        self.replicas.append(replica)
+        return replica
+
+    def remove_replica(self, replica: RemoteReplica) -> None:
+        """Remove a replica from the set (the caller stops it)."""
+        if len(self.replicas) <= 1:
+            raise ContainerError(str(self.model_id), "cannot remove the last replica")
+        try:
+            self.replicas.remove(replica)
+        except ValueError:
+            raise ContainerError(
+                str(self.model_id), f"{replica.name} is not a member of this replica set"
+            ) from None
+
+    async def replace_replica(self, replica: RemoteReplica) -> RemoteReplica:
+        """Swap a sick replica for a fresh one with the same id, re-placed.
+
+        The replacement prefers a worker other than the sick replica's —
+        when a worker dies, recovery naturally migrates its replicas onto
+        the survivors.  Raises :class:`RpcError` (retryable) when no worker
+        is live, so the health monitor keeps trying.
+        """
+        try:
+            index = self.replicas.index(replica)
+        except ValueError:
+            raise ContainerError(
+                str(self.model_id), f"{replica.name} is not a member of this replica set"
+            ) from None
+        fresh = self._build_replica(
+            replica.replica_id, exclude=(replica.worker.worker_id,)
+        )
+        await replica.stop()
+        self.replicas[index] = fresh
+        return fresh
+
+    async def start(self) -> None:
+        for replica in self.replicas:
+            await replica.start()
+
+    async def stop(self) -> None:
+        for replica in self.replicas:
+            await replica.stop()
+
+    def __len__(self) -> int:
+        return len(self.replicas)
+
+    def __iter__(self):
+        return iter(self.replicas)
+
+
+__all__ = ["LAUNCH_TIMEOUT_S", "RemoteReplica", "RemoteReplicaSet", "WorkerPlacer"]

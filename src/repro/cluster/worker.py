@@ -1,0 +1,289 @@
+"""The worker daemon: one OS process hosting model containers for the cluster.
+
+A worker binds a loopback control port, announces itself (endpoints + shm
+capability) into the shared :class:`~repro.cluster.registry.WorkerRegistry`,
+and heartbeats the announcement so the ingress can tell live workers from
+dead ones.  Each inbound control connection speaks a tiny ``op``-keyed
+handshake:
+
+``{"op": "ping"}``
+    liveness probe; answered in place, the connection stays open.
+``{"op": "launch", "model_key": ..., "factory": ..., "transport": ...}``
+    build a fresh container from the named factory and serve it over the
+    container RPC protocol.  On the ``tcp`` lane the control connection
+    *becomes* the data connection; on the ``shm`` lane the worker creates a
+    shared-memory ring pair, replies with its attach descriptor, and serves
+    over the rings once the peer's doorbells connect.
+
+The container lives exactly as long as its data lane: when the ingress
+closes the connection (undeploy, scale-down, replica replacement) — or
+vanishes — the serve loop ends and the container is reaped.  SIGTERM causes
+a graceful drain: withdraw the announcement, stop accepting, finish every
+in-flight batch, exit.
+
+Run one with ``python -m repro.cluster.worker --cluster-dir DIR --worker-id ID``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import signal
+import socket
+import sys
+import tempfile
+from typing import Optional, Set
+
+from repro.cluster.factories import FactoryMap, default_factories, load_factories
+from repro.cluster.registry import DEFAULT_TTL_S, WorkerAnnouncement, WorkerRegistry
+from repro.core.exceptions import RpcError
+from repro.rpc.server import ContainerRpcServer
+from repro.rpc.shm import HAS_SHARED_MEMORY, ShmHostEndpoint
+from repro.rpc.transport import TcpListener, Transport
+
+#: How long the worker waits for a shm peer to connect its doorbells.
+SHM_ACCEPT_TIMEOUT_S = 10.0
+
+#: UNIX socket paths are capped around 104-108 bytes; bell sockets fall back
+#: to a short private tmp dir when the cluster dir would push past this.
+_MAX_BELL_DIR_LEN = 70
+
+
+class WorkerDaemon:
+    """Hosts model containers behind the container RPC protocol."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        cluster_dir: str,
+        factories: Optional[FactoryMap] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ttl_s: float = DEFAULT_TTL_S,
+        use_executor: bool = True,
+        shm_enabled: bool = True,
+    ) -> None:
+        self.worker_id = worker_id
+        self.registry = WorkerRegistry(cluster_dir)
+        self._factories = dict(factories) if factories is not None else default_factories()
+        self._listener = TcpListener(host=host, port=port)
+        self._ttl_s = ttl_s
+        self._use_executor = use_executor
+        self._shm_enabled = shm_enabled and HAS_SHARED_MEMORY
+        bell_dir = os.path.join(self.registry.directory, "bells")
+        if len(bell_dir) > _MAX_BELL_DIR_LEN:
+            bell_dir = tempfile.mkdtemp(prefix="repro-bells-")
+        self._bell_dir = bell_dir
+        self._announcement: Optional[WorkerAnnouncement] = None
+        self._servers: Set[ContainerRpcServer] = set()
+        self._active_models: Set[str] = set()
+        self._model_counts: dict = {}
+        self._tasks: Set[asyncio.Task] = set()
+        self._accept_task: Optional[asyncio.Task] = None
+        self._heartbeat_task: Optional[asyncio.Task] = None
+        self._stopping = asyncio.Event()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        return self._listener.port
+
+    async def start(self) -> None:
+        """Bind the control port, announce into the registry, begin serving."""
+        await self._listener.start()
+        self._announcement = WorkerAnnouncement(
+            worker_id=self.worker_id,
+            host=socket.gethostname(),
+            pid=os.getpid(),
+            tcp_host=self._listener.host,
+            tcp_port=self._listener.port,
+            shm_supported=self._shm_enabled,
+        )
+        self._announce()
+        loop = asyncio.get_running_loop()
+        self._accept_task = loop.create_task(self._accept_loop())
+        self._heartbeat_task = loop.create_task(self._heartbeat_loop())
+
+    def _announce(self) -> None:
+        self._announcement.models = sorted(self._active_models)
+        self.registry.announce(self._announcement)
+
+    async def _heartbeat_loop(self) -> None:
+        interval = max(0.05, min(1.0, self._ttl_s / 3.0))
+        while not self._stopping.is_set():
+            await asyncio.sleep(interval)
+            try:
+                self._announce()
+            except OSError:
+                pass  # registry dir vanished mid-shutdown; next beat retries
+
+    async def _accept_loop(self) -> None:
+        while True:
+            transport = await self._listener.accept()
+            task = asyncio.get_running_loop().create_task(
+                self._serve_connection(transport)
+            )
+            self._tasks.add(task)
+            task.add_done_callback(self._tasks.discard)
+
+    # -- the control protocol ----------------------------------------------------
+
+    async def _serve_connection(self, control: Transport) -> None:
+        """Answer control ops until the peer hangs up or a launch takes over."""
+        try:
+            while True:
+                try:
+                    message = await control.recv()
+                except RpcError:
+                    return
+                op = message.get("op")
+                if op == "ping":
+                    await control.send(
+                        {"ok": True, "worker_id": self.worker_id, "pid": os.getpid()}
+                    )
+                    continue
+                if op == "launch":
+                    await self._handle_launch(control, message)
+                    return
+                await control.send({"ok": False, "error": f"unknown op {op!r}"})
+        except RpcError:
+            return
+        finally:
+            await control.close()
+
+    async def _handle_launch(self, control: Transport, message: dict) -> None:
+        factory_name = str(message.get("factory", ""))
+        model_key = str(message.get("model_key", ""))
+        lane = str(message.get("transport", "tcp"))
+        factory = self._factories.get(factory_name)
+        if factory is None:
+            await control.send(
+                {
+                    "ok": False,
+                    "error": f"worker {self.worker_id} has no container factory "
+                    f"named {factory_name!r}",
+                }
+            )
+            return
+        if lane == "shm" and not self._shm_enabled:
+            await control.send(
+                {"ok": False, "error": f"worker {self.worker_id} has shm disabled"}
+            )
+            return
+        try:
+            container = factory()
+        except Exception as exc:
+            await control.send(
+                {"ok": False, "error": f"container factory failed: {exc}"}
+            )
+            return
+        if lane == "shm":
+            endpoint = ShmHostEndpoint(self._bell_dir)
+            await control.send({"ok": True, "shm": endpoint.descriptor()})
+            try:
+                data = await endpoint.accept(timeout_s=SHM_ACCEPT_TIMEOUT_S)
+            except RpcError:
+                return  # accept() already tore the endpoint down
+            await control.close()
+        else:
+            await control.send({"ok": True})
+            data = control
+        server = ContainerRpcServer(container, data, use_executor=self._use_executor)
+        self._servers.add(server)
+        self._model_counts[model_key] = self._model_counts.get(model_key, 0) + 1
+        self._active_models.add(model_key)
+        try:
+            await server.serve_forever()
+        finally:
+            self._servers.discard(server)
+            self._model_counts[model_key] -= 1
+            if self._model_counts[model_key] <= 0:
+                del self._model_counts[model_key]
+                self._active_models.discard(model_key)
+            await data.close()
+
+    # -- shutdown ----------------------------------------------------------------
+
+    async def drain(self, timeout_s: float = 5.0) -> None:
+        """Graceful SIGTERM path: withdraw, finish in-flight work, stop."""
+        self._stopping.set()
+        # Leave the registry first so the placer stops choosing this worker.
+        self.registry.withdraw(self.worker_id)
+        await self._listener.close()
+        if self._servers:
+            await asyncio.gather(
+                *(server.drain(timeout_s=timeout_s) for server in list(self._servers)),
+                return_exceptions=True,
+            )
+        await self.stop()
+
+    async def stop(self) -> None:
+        """Hard stop: cancel everything and leave the registry."""
+        self._stopping.set()
+        self.registry.withdraw(self.worker_id)
+        await self._listener.close()
+        for server in list(self._servers):
+            await server.stop()
+        for task in (self._accept_task, self._heartbeat_task, *list(self._tasks)):
+            if task is not None and not task.done():
+                task.cancel()
+                try:
+                    await task
+                except (asyncio.CancelledError, RpcError):
+                    pass
+        self._accept_task = None
+        self._heartbeat_task = None
+
+    async def run_until_stopped(self) -> None:
+        await self._stopping.wait()
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    factories = load_factories(args.factories) if args.factories else None
+    daemon = WorkerDaemon(
+        worker_id=args.worker_id,
+        cluster_dir=args.cluster_dir,
+        factories=factories,
+        host=args.host,
+        port=args.port,
+        ttl_s=args.ttl,
+        shm_enabled=not args.no_shm,
+    )
+    await daemon.start()
+    loop = asyncio.get_running_loop()
+    drained = loop.create_future()
+
+    def _on_sigterm() -> None:
+        if not drained.done():
+            drained.set_result(None)
+
+    loop.add_signal_handler(signal.SIGTERM, _on_sigterm)
+    loop.add_signal_handler(signal.SIGINT, _on_sigterm)
+    # The ready line is the spawner's synchronization point.
+    print(f"WORKER_READY {daemon.worker_id} {daemon.port}", flush=True)
+    await drained
+    await daemon.drain(timeout_s=args.drain_timeout)
+    print(f"WORKER_DRAINED {daemon.worker_id}", flush=True)
+    return 0
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description="repro cluster worker daemon")
+    parser.add_argument("--cluster-dir", required=True, help="shared registry dir")
+    parser.add_argument("--worker-id", required=True)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0)
+    parser.add_argument("--ttl", type=float, default=DEFAULT_TTL_S)
+    parser.add_argument(
+        "--factories", default="", help="pkg.module:ATTR factory map override"
+    )
+    parser.add_argument("--no-shm", action="store_true", help="disable the shm lane")
+    parser.add_argument("--drain-timeout", type=float, default=5.0)
+    args = parser.parse_args(argv)
+    return asyncio.run(_amain(args))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

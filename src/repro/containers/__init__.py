@@ -1,6 +1,7 @@
 """Model containers (paper §4.4): the narrow-waist batch prediction interface."""
 
 from repro.containers.base import ModelContainer, FunctionContainer
+from repro.containers.busy import BusySpinContainer, DeviceBoundContainer
 from repro.containers.chaos import KillableContainer, TrackingFactory
 from repro.containers.noop import NoOpContainer
 from repro.containers.adapters import ClassifierContainer, HMMContainer
@@ -13,6 +14,8 @@ from repro.containers.replica import ContainerReplica, ReplicaSet
 __all__ = [
     "ModelContainer",
     "FunctionContainer",
+    "BusySpinContainer",
+    "DeviceBoundContainer",
     "KillableContainer",
     "TrackingFactory",
     "NoOpContainer",

@@ -200,6 +200,10 @@ class Clipper:
         self._selection_managers: Dict[str, SelectionStateManager] = {}
         self._started = False
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # Optional replica-placement seam: when set (the cluster ingress
+        # installs one), each deployment may build its replica set somewhere
+        # other than in-process — see :meth:`set_replica_set_factory`.
+        self._replica_set_factory = None
         # Metric handles are resolved once here instead of per call: registry
         # lookups take a lock and a dict probe, which is measurable on the
         # cache-hit path that does no other work.
@@ -250,6 +254,17 @@ class Clipper:
 
     # -- deployment -----------------------------------------------------------
 
+    def set_replica_set_factory(self, factory) -> None:
+        """Install a replica-placement hook for subsequent deployments.
+
+        ``factory(deployment, model_id)`` returns a ReplicaSet-compatible
+        object — e.g. a :class:`~repro.cluster.remote.RemoteReplicaSet`
+        placing containers on worker daemons — or ``None`` to fall back to
+        the in-process default for that deployment.  Already-deployed models
+        are unaffected.
+        """
+        self._replica_set_factory = factory
+
     def _register_model(
         self, deployment: ModelDeployment, activate: Optional[bool]
     ) -> _DeployedModel:
@@ -259,13 +274,17 @@ class Clipper:
         if key in self._models:
             raise DeploymentError(f"model '{key}' is already deployed")
 
-        replica_set = ReplicaSet(
-            model_id=model_id,
-            container_factory=deployment.container_factory,
-            num_replicas=deployment.num_replicas,
-            serialize_messages=deployment.serialize_rpc,
-            transport=deployment.transport,
-        )
+        replica_set = None
+        if self._replica_set_factory is not None:
+            replica_set = self._replica_set_factory(deployment, model_id)
+        if replica_set is None:
+            replica_set = ReplicaSet(
+                model_id=model_id,
+                container_factory=deployment.container_factory,
+                num_replicas=deployment.num_replicas,
+                serialize_messages=deployment.serialize_rpc,
+                transport=deployment.transport,
+            )
         queue = BatchingQueue(name=key, maxsize=deployment.batching.max_queue_depth)
         record = _DeployedModel(deployment, replica_set, queue, [])
         record.dispatchers = [
@@ -695,7 +714,7 @@ class Clipper:
         """Start every deployed model's replicas and dispatchers."""
         if self._started:
             return
-        if not self._models:
+        if not self._models and not self.config.allow_empty_start:
             raise ClipperError("cannot start Clipper with no deployed models")
         for record in self._models.values():
             await self._start_model(record)

@@ -359,6 +359,9 @@ class ClipperConfig:
     tracing: TracingConfig = field(default_factory=TracingConfig)
     overload: Optional[OverloadConfig] = None
     breaker: Optional[CircuitBreakerConfig] = None
+    # A cluster ingress boots with zero deployed models (deploys arrive over
+    # the admin API); the default keeps the loud in-process failure mode.
+    allow_empty_start: bool = False
 
     def __post_init__(self) -> None:
         if self.latency_slo_ms <= 0:

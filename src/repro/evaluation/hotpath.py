@@ -60,6 +60,20 @@ scenarios isolate the framework cost per query:
     JSON array.  Compared against ``http_predict`` it isolates the JSON
     codec's share of the REST gap — the payload that motivated the binary
     wire format.
+``cluster_http_1worker`` / ``cluster_http_2workers``
+    The cluster serving plane under a *device-bound* model: N worker
+    daemons (separate OS processes) each host replicas of a
+    :class:`~repro.containers.busy.DeviceBoundContainer` (1 ms of exclusive
+    simulated-accelerator time per input, one device per worker process),
+    fronted by an in-process :class:`~repro.cluster.ingress.IngressTier`
+    driven by binary HTTP clients with unique inputs (every query a cache
+    miss).  One worker's device caps at roughly 1k inputs/s no matter how
+    many replicas it hosts, so the 2-worker/1-worker throughput ratio is
+    the acceptance number for cluster scaling — it must exceed 1.5×, which
+    no amount of concurrency against a single worker can deliver.  (A
+    device-bound model rather than a CPU-spinning one keeps the ratio
+    meaningful on single-core hosts, where extra CPU-bound worker
+    processes would merely timeshare the same core.)
 
 Each scenario returns a :class:`HotpathResult` with QPS and the latency
 distribution, consumed by ``benchmarks/bench_hotpath.py`` (pytest) and
@@ -432,6 +446,159 @@ async def run_http_predict_binary(
     return _result("http_predict_binary", elapsed, latencies)
 
 
+async def _run_cluster_http(
+    scenario: str,
+    num_workers: int,
+    num_queries: int = 2000,
+    concurrency: int = 32,
+    num_replicas: int = 2,
+) -> HotpathResult:
+    """Shared driver for the cluster scaling pair.
+
+    Spawns ``num_workers`` worker daemons as real child processes, stands up
+    an in-process ingress tier whose placement hook spreads
+    ``num_replicas`` device-bound replicas across them (same-host shm lane
+    negotiated automatically), and drives unique-input binary HTTP traffic.
+    The deployment shape is identical across the pair — only the worker
+    count varies — so the throughput ratio isolates cluster scaling.  The
+    batch cap keeps one dispatcher from draining the whole queue (which
+    would starve the other worker's replica), and the client concurrency is
+    sized so ~2k qps is reachable at ~15 ms end-to-end latency.
+    """
+    import os
+    import shutil
+    import signal
+    import subprocess
+    import sys
+    import tempfile
+
+    import repro
+    from repro.client import AsyncClipperClient
+    from repro.cluster.ingress import IngressTier
+    from repro.cluster.registry import WorkerRegistry
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src_dir + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cluster_dir = tempfile.mkdtemp(prefix="repro-bench-cluster-")
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cluster.worker",
+                "--cluster-dir",
+                cluster_dir,
+                "--worker-id",
+                f"bench-{i}",
+            ],
+            env=env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        for i in range(num_workers)
+    ]
+    latencies: List[float] = []
+    try:
+        registry = WorkerRegistry(cluster_dir)
+        deadline = time.monotonic() + 30.0
+        while len(registry.live_workers()) < num_workers:
+            if time.monotonic() > deadline:
+                raise RuntimeError(f"{scenario}: workers never became live")
+            await asyncio.sleep(0.05)
+        ingress = IngressTier(
+            cluster_dir,
+            config=ClipperConfig(
+                app_name="hotpath",
+                latency_slo_ms=BENCH_SLO_MS,
+                selection_policy="single",
+                input_type="floats",
+                input_shape=(WIDE_FEATURES,),
+                allow_empty_start=True,
+            ),
+        )
+        from repro.containers.busy import DeviceBoundContainer
+
+        ingress.clipper.deploy_model(
+            ModelDeployment(
+                name="busy",
+                container_factory=lambda: DeviceBoundContainer(ms_per_input=1.0),
+                factory_name="device_1ms",
+                num_replicas=num_replicas,
+                batching=BatchingConfig(
+                    policy="aimd", initial_batch_size=4, max_batch_size=8
+                ),
+            )
+        )
+        await ingress.start()
+        try:
+            rng = np.random.default_rng(7)
+            inputs = rng.standard_normal(
+                (num_queries + concurrency, WIDE_FEATURES)
+            ).astype(np.float32)
+            clients = [
+                AsyncClipperClient("127.0.0.1", ingress.port, binary=True)
+                for _ in range(concurrency)
+            ]
+            try:
+                # Warm connections, placement and the shm rings (unique
+                # inputs, so the cache stays cold for the timed window too).
+                for i, client in enumerate(clients):
+                    await client.predict("hotpath", inputs[num_queries + i])
+                per_client = max(1, num_queries // concurrency)
+
+                async def drive(client: AsyncClipperClient, offset: int) -> None:
+                    base = offset * per_client
+                    for k in range(per_client):
+                        t0 = time.perf_counter()
+                        await client.predict("hotpath", inputs[base + k])
+                        latencies.append((time.perf_counter() - t0) * 1000.0)
+
+                gc.collect()
+                start = time.perf_counter()
+                await asyncio.gather(
+                    *(drive(client, i) for i, client in enumerate(clients))
+                )
+                elapsed = time.perf_counter() - start
+            finally:
+                for client in clients:
+                    await client.close()
+        finally:
+            await ingress.stop()
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        for proc in workers:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=5)
+        shutil.rmtree(cluster_dir, ignore_errors=True)
+    return _result(scenario, elapsed, latencies)
+
+
+async def run_cluster_http_1worker(
+    num_queries: int = 2000, concurrency: int = 32
+) -> HotpathResult:
+    """The cluster workload on ONE worker daemon: the scaling baseline."""
+    return await _run_cluster_http(
+        "cluster_http_1worker", 1, num_queries=num_queries, concurrency=concurrency
+    )
+
+
+async def run_cluster_http_2workers(
+    num_queries: int = 2000, concurrency: int = 32
+) -> HotpathResult:
+    """The same workload across TWO worker daemons; must beat 1.5× the baseline."""
+    return await _run_cluster_http(
+        "cluster_http_2workers", 2, num_queries=num_queries, concurrency=concurrency
+    )
+
+
 async def run_overload(num_queries: int = 2000) -> HotpathResult:
     """Flash crowd against an admission-controlled application.
 
@@ -627,6 +794,8 @@ def run_all(quick: bool = False) -> List[HotpathResult]:
                 await run_overload(num_queries=2000 // scale),
                 await run_http_predict(num_queries=2000 // scale),
                 await run_http_predict_binary(num_queries=2000 // scale),
+                await run_cluster_http_1worker(num_queries=2000 // scale),
+                await run_cluster_http_2workers(num_queries=2000 // scale),
             ]
         )
         results.extend(await run_telemetry_overhead(num_queries=4000 // scale))

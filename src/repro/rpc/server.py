@@ -40,6 +40,10 @@ class ContainerRpcServer:
         self._use_executor = use_executor
         self._task: Optional[asyncio.Task] = None
         self.requests_served = 0
+        self._draining = False
+        # Set whenever no request is mid-evaluation; drain() waits on it.
+        self._idle = asyncio.Event()
+        self._idle.set()
 
     def start(self) -> asyncio.Task:
         """Start the serving loop as a background task."""
@@ -57,13 +61,22 @@ class ContainerRpcServer:
                     payload = await prefetch
                 except RpcError:
                     return
+                if self._draining:
+                    # Stop accepting: the prefetched frame arrived after the
+                    # drain began and is deliberately dropped unanswered.
+                    return
                 # Prefetch the next frame immediately: its receive + decode
                 # overlaps the evaluation below instead of following it.
                 prefetch = loop.create_task(self._transport.recv())
+                self._idle.clear()
                 try:
                     await self._handle(payload)
                 except RpcError:
                     # Failed to send a reply: the peer is gone.
+                    return
+                finally:
+                    self._idle.set()
+                if self._draining:
                     return
         finally:
             prefetch.cancel()
@@ -155,6 +168,22 @@ class ContainerRpcServer:
                 container_latency_ms=latency_ms,
                 trace=request.trace,
             )
+
+    async def drain(self, timeout_s: float = 5.0) -> None:
+        """Graceful shutdown: finish the in-flight request, then stop.
+
+        Sets the draining flag so the serving loop accepts no further
+        requests, waits (bounded by ``timeout_s``) for the request currently
+        being evaluated — if any — to be answered, then closes the transport
+        and cancels the loop.  A request that outlives the timeout is cut
+        off by the ordinary :meth:`stop` path.
+        """
+        self._draining = True
+        try:
+            await asyncio.wait_for(self._idle.wait(), timeout=timeout_s)
+        except asyncio.TimeoutError:
+            pass
+        await self.stop()
 
     async def stop(self) -> None:
         """Close the transport and cancel the serving loop."""

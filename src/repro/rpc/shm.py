@@ -157,14 +157,15 @@ class _BellWaiter:
     callback resolves.
     """
 
-    __slots__ = ("_sock", "_loop", "_future", "_signaled", "_registered")
+    __slots__ = ("_sock", "_loop", "_future", "_signaled", "_registered", "_on_eof")
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket, on_eof=None) -> None:
         self._sock = sock
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._future: Optional[asyncio.Future] = None
         self._signaled = False
         self._registered = False
+        self._on_eof = on_eof
 
     async def wait(self) -> None:
         if self._signaled:
@@ -193,6 +194,8 @@ class _BellWaiter:
             # Peer hung up: the fd stays readable forever, so stop watching
             # it (the close flags in shared memory carry the shutdown now).
             self._unregister()
+            if self._on_eof is not None:
+                self._on_eof()
         future = self._future
         if future is not None:
             if not future.done():
@@ -226,6 +229,7 @@ class ShmRingTransport(Transport):
         bell_out: socket.socket,
         bell_in: socket.socket,
         release_cb,
+        hangup_marks_closed: bool = False,
     ) -> None:
         self._out = out_ring
         self._in = in_ring
@@ -233,10 +237,20 @@ class ShmRingTransport(Transport):
         # ``bell_in``: await data bells / send space bells for the in ring.
         self._bell_out = bell_out
         self._bell_in = bell_in
-        self._space_waiter = _BellWaiter(bell_out)
-        self._data_waiter = _BellWaiter(bell_in)
+        # Cross-process endpoints opt into treating doorbell EOF as a peer
+        # death signal: a SIGKILLed peer never sets the shared closed flags,
+        # but the kernel closes its bell sockets, so EOF is the one reliable
+        # crash notification.  Marking the rings closed wakes parked reads
+        # and writes with "closed by peer" instead of hanging forever.
+        on_eof = self._peer_hangup if hangup_marks_closed else None
+        self._space_waiter = _BellWaiter(bell_out, on_eof=on_eof)
+        self._data_waiter = _BellWaiter(bell_in, on_eof=on_eof)
         self._release_cb = release_cb
         self._closed = False
+
+    def _peer_hangup(self) -> None:
+        self._out.mark_closed()
+        self._in.mark_closed()
 
     # -- Transport interface ---------------------------------------------------
 
@@ -442,9 +456,197 @@ class ShmRingPair:
                 pass
 
 
+# -- cross-process endpoints ---------------------------------------------------
+#
+# ``ShmRingPair`` above connects two endpoints *in one process*: its doorbells
+# are a socketpair, whose fds cannot cross an exec boundary.  The cluster
+# plane needs the same rings between an ingress process and a worker daemon,
+# so the cross-process variant swaps the socketpairs for two UNIX-domain
+# connections (one per ring, playing exactly the socketpair's bidirectional
+# bell role) and attaches the shared-memory block by name:
+#
+# * the **host** (worker) side creates the block and listens on a throwaway
+#   UNIX socket; its ``descriptor()`` (shm name, bell path, capacity) travels
+#   to the peer over the worker's control connection,
+# * the **attacher** (ingress) side maps ``SharedMemory(name=...)`` and opens
+#   two bell connections, identifying each ring with a one-byte preamble.
+#
+# Both sides enable ``hangup_marks_closed``: a SIGKILLed peer never sets the
+# shared closed flags, but the kernel closing its bell sockets delivers EOF,
+# which the transport converts into a normal "closed by peer" RpcError — the
+# crash-detection path the cluster health monitor depends on.
+
+_RING_A_PREAMBLE = b"\x01"
+_RING_B_PREAMBLE = b"\x02"
+
+
+def _release_mapping(shm) -> None:
+    """Close one side's mapping and best-effort unlink the block.
+
+    Both sides try to unlink: whichever closes last (or survives the peer's
+    SIGKILL) actually removes the segment, and the loser's FileNotFoundError
+    is expected.  A failed unlink still unregisters from the resource
+    tracker so interpreter exit does not warn about a segment the peer
+    already removed.
+    """
+    shm.close()
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        try:  # pragma: no cover - depends on peer teardown order
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister("/" + shm.name, "shared_memory")
+        except Exception:
+            pass
+
+
+def _rings_over(buf, capacity: int) -> Tuple[_Ring, _Ring]:
+    """The (ring A, ring B) views over one process's mapping of the block."""
+    span = _CONTROL_BYTES + capacity
+    ring_a = _Ring(buf[0:_CONTROL_BYTES], buf[_CONTROL_BYTES:span])
+    ring_b = _Ring(
+        buf[span : span + _CONTROL_BYTES], buf[span + _CONTROL_BYTES : 2 * span]
+    )
+    return ring_a, ring_b
+
+
+class ShmHostEndpoint:
+    """Creator (server) side of a cross-process shared-memory ring pair.
+
+    Built by the worker daemon when a peer requests the shm lane: creates
+    the block and the bell listener up front so :meth:`descriptor` can
+    travel in the launch reply, then :meth:`accept` waits for the peer's
+    two bell connections and returns the server-side transport.
+    """
+
+    def __init__(self, bell_dir: str, capacity: int = DEFAULT_RING_CAPACITY) -> None:
+        if not HAS_SHARED_MEMORY:
+            raise RpcError(
+                "multiprocessing.shared_memory is unavailable on this platform"
+            )
+        if capacity < 64:
+            raise RpcError("ring capacity must be at least 64 bytes")
+        import os
+
+        self.capacity = capacity
+        span = _CONTROL_BYTES + capacity
+        self._shm = _shared_memory.SharedMemory(create=True, size=2 * span)
+        self.shm_name = self._shm.name
+        os.makedirs(bell_dir, exist_ok=True)
+        # Socket path length is capped (~107 bytes); derive a short name from
+        # the (already unique) shm segment name.
+        self.bell_path = os.path.join(bell_dir, f"{self.shm_name.lstrip('/')}.sock")
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            self._listener.bind(self.bell_path)
+            self._listener.listen(2)
+            self._listener.setblocking(False)
+        except BaseException:
+            self._listener.close()
+            self._cleanup_paths()
+            _release_mapping(self._shm)
+            raise
+
+    def descriptor(self) -> dict:
+        """The attach instructions to send to the peer."""
+        return {
+            "shm_name": self.shm_name,
+            "bell_path": self.bell_path,
+            "capacity": self.capacity,
+        }
+
+    def _cleanup_paths(self) -> None:
+        import os
+
+        try:
+            os.unlink(self.bell_path)
+        except OSError:
+            pass
+
+    async def accept(self, timeout_s: float = 10.0) -> ShmRingTransport:
+        """Wait for the peer's two bell connections; return the server side."""
+        loop = asyncio.get_running_loop()
+        bells: dict = {}
+        try:
+            async with asyncio.timeout(timeout_s):
+                while len(bells) < 2:
+                    conn, _ = await loop.sock_accept(self._listener)
+                    conn.setblocking(False)
+                    preamble = await loop.sock_recv(conn, 1)
+                    if preamble == _RING_A_PREAMBLE and "a" not in bells:
+                        bells["a"] = conn
+                    elif preamble == _RING_B_PREAMBLE and "b" not in bells:
+                        bells["b"] = conn
+                    else:
+                        conn.close()
+        except BaseException:
+            for conn in bells.values():
+                conn.close()
+            self.abort()
+            raise RpcError(
+                f"peer did not complete the shm bell handshake within {timeout_s}s"
+            ) from None
+        self._listener.close()
+        self._cleanup_paths()
+        ring_a, ring_b = _rings_over(self._shm.buf, self.capacity)
+        shm = self._shm
+        return ShmRingTransport(
+            out_ring=ring_b,
+            in_ring=ring_a,
+            bell_out=bells["b"],
+            bell_in=bells["a"],
+            release_cb=lambda: _release_mapping(shm),
+            hangup_marks_closed=True,
+        )
+
+    def abort(self) -> None:
+        """Tear everything down when the peer never attached."""
+        self._listener.close()
+        self._cleanup_paths()
+        _release_mapping(self._shm)
+
+
+async def attach_shm_endpoint(descriptor: dict) -> ShmRingTransport:
+    """Attach the client side of a host's ring pair from its descriptor."""
+    if not HAS_SHARED_MEMORY:
+        raise RpcError(
+            "multiprocessing.shared_memory is unavailable on this platform"
+        )
+    shm_name = str(descriptor["shm_name"])
+    bell_path = str(descriptor["bell_path"])
+    capacity = int(descriptor["capacity"])
+    loop = asyncio.get_running_loop()
+    shm = _shared_memory.SharedMemory(name=shm_name)
+    bells = []
+    try:
+        for preamble in (_RING_A_PREAMBLE, _RING_B_PREAMBLE):
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.setblocking(False)
+            bells.append(sock)
+            await loop.sock_connect(sock, bell_path)
+            await loop.sock_sendall(sock, preamble)
+    except BaseException as exc:
+        for sock in bells:
+            sock.close()
+        shm.close()
+        raise RpcError(f"could not attach shm endpoint: {exc}") from exc
+    ring_a, ring_b = _rings_over(shm.buf, capacity)
+    return ShmRingTransport(
+        out_ring=ring_a,
+        in_ring=ring_b,
+        bell_out=bells[0],
+        bell_in=bells[1],
+        release_cb=lambda: _release_mapping(shm),
+        hangup_marks_closed=True,
+    )
+
+
 __all__ = [
     "DEFAULT_RING_CAPACITY",
     "HAS_SHARED_MEMORY",
+    "ShmHostEndpoint",
     "ShmRingPair",
     "ShmRingTransport",
+    "attach_shm_endpoint",
 ]

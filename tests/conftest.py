@@ -21,6 +21,12 @@ def pytest_addoption(parser):
         default=False,
         help="run the chaos tier (crash-injection / kill -9 recovery tests)",
     )
+    parser.addoption(
+        "--cluster",
+        action="store_true",
+        default=False,
+        help="run the cluster tier (multi-process worker/ingress smoke tests)",
+    )
 
 
 def pytest_configure(config):
@@ -33,15 +39,21 @@ def pytest_configure(config):
         "shm: exercises the shared-memory ring transport; self-skips on "
         "platforms without multiprocessing.shared_memory",
     )
+    config.addinivalue_line(
+        "markers",
+        "cluster: spawns real worker/ingress child processes, skipped unless "
+        "--cluster is given",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--chaos"):
-        return
     skip_chaos = pytest.mark.skip(reason="needs --chaos option to run")
+    skip_cluster = pytest.mark.skip(reason="needs --cluster option to run")
     for item in items:
-        if "chaos" in item.keywords:
+        if "chaos" in item.keywords and not config.getoption("--chaos"):
             item.add_marker(skip_chaos)
+        if "cluster" in item.keywords and not config.getoption("--cluster"):
+            item.add_marker(skip_cluster)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,324 @@
+"""Tests for remote replica placement over in-process worker daemons.
+
+These spin a :class:`~repro.cluster.worker.WorkerDaemon` inside the test's
+own event loop (real loopback sockets, no child processes) and drive it
+through :class:`~repro.cluster.remote.RemoteReplica` /
+:class:`RemoteReplicaSet` and the Clipper placement seam — the cluster data
+path minus process isolation, which the opt-in ``--cluster`` tier covers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from helpers import run_async
+from repro.cluster.ingress import make_replica_set_factory
+from repro.cluster.registry import WorkerAnnouncement, WorkerRegistry
+from repro.cluster.remote import RemoteReplica, RemoteReplicaSet, WorkerPlacer
+from repro.cluster.worker import WorkerDaemon
+from repro.containers.base import ModelContainer
+from repro.containers.noop import NoOpContainer
+from repro.core.clipper import Clipper
+from repro.core.config import ClipperConfig, ModelDeployment
+from repro.core.exceptions import ContainerError, RpcError
+from repro.core.types import Query
+from repro.rpc.shm import HAS_SHARED_MEMORY
+
+
+class SlowContainer(ModelContainer):
+    """Blocks ``delay_s`` per batch (in the worker's executor thread)."""
+
+    framework = "slow"
+
+    def __init__(self, delay_s: float = 0.2) -> None:
+        self.delay_s = delay_s
+
+    def predict_batch(self, inputs):
+        time.sleep(self.delay_s)
+        return [1] * len(inputs)
+
+
+def make_factories(output=1):
+    return {
+        "echo": lambda: NoOpContainer(output=output),
+        "slow": lambda: SlowContainer(),
+    }
+
+
+async def start_daemon(tmp_path, worker_id="w0", **kwargs):
+    kwargs.setdefault("factories", make_factories())
+    daemon = WorkerDaemon(worker_id, str(tmp_path), **kwargs)
+    await daemon.start()
+    return daemon
+
+
+def fake_announcement(registry, worker_id, port=9000):
+    registry.announce(
+        WorkerAnnouncement(
+            worker_id=worker_id,
+            host="hostX",
+            pid=1,
+            tcp_host="127.0.0.1",
+            tcp_port=port,
+        )
+    )
+
+
+class TestWorkerPlacer:
+    def test_round_robin_over_live_workers(self, tmp_path):
+        registry = WorkerRegistry(str(tmp_path))
+        for worker_id in ("a", "b"):
+            fake_announcement(registry, worker_id)
+        placer = WorkerPlacer(registry)
+        picks = [placer.place().worker_id for _ in range(4)]
+        assert picks == ["a", "b", "a", "b"]
+
+    def test_exclude_prefers_other_workers(self, tmp_path):
+        registry = WorkerRegistry(str(tmp_path))
+        for worker_id in ("a", "b"):
+            fake_announcement(registry, worker_id)
+        placer = WorkerPlacer(registry)
+        picks = {placer.place(exclude=("a",)).worker_id for _ in range(4)}
+        assert picks == {"b"}
+        # ... but a fully-excluded registry still places somewhere.
+        assert placer.place(exclude=("a", "b")).worker_id in {"a", "b"}
+
+    def test_empty_registry_raises_retryable_rpc_error(self, tmp_path):
+        placer = WorkerPlacer(WorkerRegistry(str(tmp_path)))
+        with pytest.raises(RpcError):
+            placer.place()
+
+
+class TestRemoteReplica:
+    def test_tcp_lane_predict_and_health(self, tmp_path):
+        async def scenario():
+            daemon = await start_daemon(tmp_path)
+            try:
+                worker = daemon.registry.worker("w0")
+                replica = RemoteReplica(
+                    "m:1", 0, worker, factory_name="echo", transport="tcp"
+                )
+                assert replica.transport_lane == "tcp"
+                assert not replica.started
+                await replica.start()
+                assert replica.started
+                assert replica.name == "m:1[0]@w0"
+                response = await replica.predict_batch([np.zeros(2), np.zeros(2)])
+                assert response.ok
+                assert response.outputs == [1, 1]
+                assert await replica.check_health()
+                await replica.stop()
+                assert not await replica.check_health()
+            finally:
+                await daemon.stop()
+
+        run_async(scenario())
+
+    @pytest.mark.shm
+    @pytest.mark.skipif(not HAS_SHARED_MEMORY, reason="no shared memory")
+    def test_same_host_auto_negotiates_shm(self, tmp_path):
+        async def scenario():
+            daemon = await start_daemon(tmp_path)
+            try:
+                worker = daemon.registry.worker("w0")
+                replica = RemoteReplica("m:1", 0, worker, factory_name="echo")
+                assert replica.transport_lane == "shm"
+                await replica.start()
+                response = await replica.predict_batch([np.zeros(2)])
+                assert response.outputs == [1]
+                await replica.stop()
+            finally:
+                await daemon.stop()
+
+        run_async(scenario())
+
+    def test_unknown_factory_refused(self, tmp_path):
+        async def scenario():
+            daemon = await start_daemon(tmp_path)
+            try:
+                worker = daemon.registry.worker("w0")
+                replica = RemoteReplica(
+                    "m:1", 0, worker, factory_name="ghost", transport="tcp"
+                )
+                with pytest.raises(RpcError, match="ghost"):
+                    await replica.start()
+            finally:
+                await daemon.stop()
+
+        run_async(scenario())
+
+    def test_worker_reaps_container_when_lane_closes(self, tmp_path):
+        async def scenario():
+            daemon = await start_daemon(tmp_path)
+            try:
+                worker = daemon.registry.worker("w0")
+                replica = RemoteReplica(
+                    "m:1", 0, worker, factory_name="echo", transport="tcp"
+                )
+                await replica.start()
+                assert daemon._active_models == {"m:1"}
+                await replica.stop()
+                deadline = time.monotonic() + 5.0
+                while daemon._active_models and time.monotonic() < deadline:
+                    await asyncio.sleep(0.01)
+                assert daemon._active_models == set()
+            finally:
+                await daemon.stop()
+
+        run_async(scenario())
+
+
+class TestRemoteReplicaSet:
+    def test_spreads_replicas_across_workers(self, tmp_path):
+        async def scenario():
+            d0 = await start_daemon(tmp_path, "w0")
+            d1 = await start_daemon(tmp_path, "w1")
+            try:
+                placer = WorkerPlacer(d0.registry)
+                replica_set = RemoteReplicaSet(
+                    "m:1", "echo", placer, num_replicas=2, transport="tcp"
+                )
+                assert len(replica_set) == 2
+                assert [r.replica_id for r in replica_set] == [0, 1]
+                assert {r.worker.worker_id for r in replica_set} == {"w0", "w1"}
+                await replica_set.start()
+                for replica in replica_set:
+                    response = await replica.predict_batch([np.zeros(1)])
+                    assert response.outputs == [1]
+                await replica_set.stop()
+            finally:
+                await d0.stop()
+                await d1.stop()
+
+        run_async(scenario())
+
+    def test_replace_replica_migrates_off_the_sick_worker(self, tmp_path):
+        async def scenario():
+            d0 = await start_daemon(tmp_path, "w0")
+            d1 = await start_daemon(tmp_path, "w1")
+            try:
+                placer = WorkerPlacer(d0.registry)
+                replica_set = RemoteReplicaSet(
+                    "m:1", "echo", placer, num_replicas=2, transport="tcp"
+                )
+                await replica_set.start()
+                sick = next(
+                    r for r in replica_set if r.worker.worker_id == "w0"
+                )
+                fresh = await replica_set.replace_replica(sick)
+                assert fresh.replica_id == sick.replica_id
+                assert fresh.worker.worker_id == "w1"
+                assert not fresh.started  # the caller (health monitor) starts it
+                assert not sick.started
+                await fresh.start()
+                response = await fresh.predict_batch([np.zeros(1)])
+                assert response.outputs == [1]
+                await replica_set.stop()
+            finally:
+                await d0.stop()
+                await d1.stop()
+
+        run_async(scenario())
+
+    def test_contract_guards(self, tmp_path):
+        registry = WorkerRegistry(str(tmp_path))
+        fake_announcement(registry, "a")
+        placer = WorkerPlacer(registry)
+        with pytest.raises(ContainerError):
+            RemoteReplicaSet("m:1", "", placer)  # no factory name
+        with pytest.raises(ContainerError):
+            RemoteReplicaSet("m:1", "echo", placer, num_replicas=0)
+        replica_set = RemoteReplicaSet("m:1", "echo", placer, num_replicas=1)
+        with pytest.raises(ContainerError):
+            replica_set.remove_replica(replica_set.replicas[0])
+
+
+class TestClipperPlacementSeam:
+    def make_clipper(self, placer):
+        clipper = Clipper(
+            ClipperConfig(
+                app_name="app", latency_slo_ms=250.0, selection_policy="single"
+            )
+        )
+        clipper.set_replica_set_factory(make_replica_set_factory(placer))
+        return clipper
+
+    def test_named_factory_places_remotely(self, tmp_path):
+        async def scenario():
+            # Worker factory answers 1; the local fallback factory answers 7.
+            # A prediction of 1 proves the container ran inside the daemon.
+            daemon = await start_daemon(tmp_path)
+            try:
+                placer = WorkerPlacer(daemon.registry)
+                clipper = self.make_clipper(placer)
+                clipper.deploy_model(
+                    ModelDeployment(
+                        name="m",
+                        container_factory=lambda: NoOpContainer(output=7),
+                        factory_name="echo",
+                        num_replicas=2,
+                    )
+                )
+                await clipper.start()
+                try:
+                    prediction = await clipper.predict(
+                        Query(app_name="app", input=np.zeros(4), user_id="u")
+                    )
+                    assert prediction.output == 1
+                finally:
+                    await clipper.stop()
+            finally:
+                await daemon.stop()
+
+        run_async(scenario())
+
+    def test_unnamed_factory_falls_back_to_local_replicas(self, tmp_path):
+        async def scenario():
+            daemon = await start_daemon(tmp_path)
+            try:
+                placer = WorkerPlacer(daemon.registry)
+                clipper = self.make_clipper(placer)
+                clipper.deploy_model(
+                    ModelDeployment(
+                        name="m", container_factory=lambda: NoOpContainer(output=7)
+                    )
+                )
+                await clipper.start()
+                try:
+                    prediction = await clipper.predict(
+                        Query(app_name="app", input=np.zeros(4), user_id="u")
+                    )
+                    assert prediction.output == 7  # served in-process
+                finally:
+                    await clipper.stop()
+            finally:
+                await daemon.stop()
+
+        run_async(scenario())
+
+
+class TestWorkerDrain:
+    def test_drain_withdraws_and_finishes_in_flight_work(self, tmp_path):
+        async def scenario():
+            daemon = await start_daemon(tmp_path)
+            worker = daemon.registry.worker("w0")
+            replica = RemoteReplica(
+                "m:1", 0, worker, factory_name="slow", transport="tcp"
+            )
+            await replica.start()
+            pending = asyncio.ensure_future(replica.predict_batch([np.zeros(1)]))
+            await asyncio.sleep(0.05)  # let the batch reach the container
+            await daemon.drain(timeout_s=5.0)
+            # The announcement is gone (placer stops choosing this worker) ...
+            assert daemon.registry.live_workers() == []
+            # ... yet the in-flight batch completed rather than being cut.
+            response = await pending
+            assert response.ok
+            assert response.outputs == [1]
+            await replica.stop()
+
+        run_async(scenario())
